@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and saves a
+plain-text rendering under ``benchmarks/results/`` so the numbers can be
+inspected (and compared against EXPERIMENTS.md) after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory receiving the rendered tables/series produced by benchmarks."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_text(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write one benchmark's rendered output to ``benchmarks/results/<name>.txt``."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,43 @@
+"""Benchmark: Section 5.1 / 5.2 — tightness of the γ bound and Claim 2 values."""
+
+import pytest
+
+from benchmarks.conftest import save_text
+from repro.assignment.ramanujan import RamanujanAssignment
+from repro.experiments.bounds import bound_tightness_table, claim2_verification_table
+from repro.experiments.report import format_rows
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_gamma_bound_tightness(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        bound_tightness_table, kwargs={"q_values": range(2, 8)}, rounds=1, iterations=1
+    )
+    save_text(
+        results_dir,
+        "bounds_gamma",
+        format_rows(rows, title="Gamma bound tightness (MOLS l=5, r=3)"),
+    )
+    for row in rows:
+        assert row["bound_satisfied"]
+        # gamma/f and the closed-form Section 5.1.1 bound coincide.
+        assert row["gamma_over_f"] == pytest.approx(
+            row["closed_form_epsilon_bound"], rel=1e-6
+        )
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_claim2_exact_small_q_values(benchmark, results_dir):
+    def run():
+        return {
+            "mols": claim2_verification_table(),
+            "ramanujan_case2": claim2_verification_table(RamanujanAssignment(m=5, s=5)),
+        }
+
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(
+        format_rows(rows, title=f"Claim 2 check — {name}") for name, rows in tables.items()
+    )
+    save_text(results_dir, "bounds_claim2", text)
+    for rows in tables.values():
+        assert all(row["match"] for row in rows)

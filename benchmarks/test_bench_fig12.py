@@ -1,0 +1,40 @@
+"""Benchmark: paper Figure 12 — per-iteration time breakdown.
+
+Reproduces the *shape* of the paper's Figure 12 with the analytic cluster cost
+model: ByzShield pays the largest communication (one message per file copy per
+worker) and the largest total, both redundancy schemes pay r x the baseline's
+computation, and the baseline's aggregation is the cheapest.  The absolute
+seconds depend on the cost-model coefficients, not on EC2 hardware.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_text
+from repro.experiments.paper_reference import PAPER_TRAINING_HOURS
+from repro.experiments.report import format_rows
+from repro.experiments.timing import generate_figure12
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig12_per_iteration_time_breakdown(benchmark, results_dir):
+    rows = benchmark.pedantic(generate_figure12, rounds=1, iterations=1)
+    save_text(
+        results_dir,
+        "fig12",
+        format_rows(rows, title="Figure 12: per-iteration time breakdown (cost model)")
+        + "\n\npaper full-training wall-clock (hours): "
+        + str(PAPER_TRAINING_HOURS),
+    )
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert set(by_scheme) == {"Median", "ByzShield", "DETOX-MoM"}
+    # Ordering of totals matches the paper: median < DETOX-MoM < ByzShield.
+    assert by_scheme["Median"]["total"] < by_scheme["DETOX-MoM"]["total"]
+    assert by_scheme["DETOX-MoM"]["total"] < by_scheme["ByzShield"]["total"]
+    # Communication: ByzShield transmits l=5 gradients per worker, others one.
+    assert by_scheme["ByzShield"]["communication"] == pytest.approx(
+        5 * by_scheme["Median"]["communication"], rel=1e-6
+    )
+    # Computation: redundancy schemes pay r=5 times the baseline.
+    assert by_scheme["ByzShield"]["computation"] == pytest.approx(
+        5 * by_scheme["Median"]["computation"], rel=1e-6
+    )

@@ -1,0 +1,20 @@
+"""Benchmark: paper Figure 4 — ALIE attack, Multi-Krum-based defenses, K = 25."""
+
+import pytest
+
+from benchmarks.figure_helpers import (
+    check_figure_invariants,
+    run_figure,
+    save_figure_results,
+)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_alie_multikrum_defenses(benchmark, results_dir):
+    histories = benchmark.pedantic(run_figure, args=("fig4",), rounds=1, iterations=1)
+    check_figure_invariants("fig4", histories)
+    save_figure_results(
+        results_dir, "fig4", "Figure 4: ALIE attack, Multi-Krum-based defenses", histories
+    )
+    assert histories["Multi-Krum, q=5"].distortion_fractions.mean() == pytest.approx(0.2)
+    assert histories["ByzShield, q=3"].distortion_fractions.mean() == pytest.approx(0.04)

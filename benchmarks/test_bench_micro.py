@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the primitives that dominate the pipelines' runtime.
+
+Unlike the table/figure benchmarks (which run once, pedantically), these use
+pytest-benchmark's timing loop so regressions in the hot paths — robust
+aggregation over stacked gradients, majority voting, the worst-case distortion
+search and the assignment-graph construction — show up in the benchmark report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.bulyan import BulyanAggregator
+from repro.aggregation.krum import MultiKrumAggregator
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.aggregation.majority import majority_vote
+from repro.assignment.mols import MOLSAssignment
+from repro.assignment.ramanujan import RamanujanAssignment
+from repro.core.distortion import max_distortion_exhaustive, max_distortion_local_search
+
+RNG = np.random.default_rng(0)
+VOTES_25 = RNG.standard_normal((25, 20_000))
+VOTES_SMALL = RNG.standard_normal((15, 5_000))
+FILE_COPIES = [VOTES_SMALL[0].copy(), VOTES_SMALL[0].copy(), VOTES_SMALL[1].copy()]
+
+
+@pytest.mark.benchmark(group="micro-aggregation")
+def test_median_aggregation_speed(benchmark):
+    result = benchmark(CoordinateWiseMedian(), VOTES_25)
+    assert result.shape == (20_000,)
+
+
+@pytest.mark.benchmark(group="micro-aggregation")
+def test_multi_krum_aggregation_speed(benchmark):
+    aggregator = MultiKrumAggregator(num_byzantine=5)
+    result = benchmark(aggregator, VOTES_25)
+    assert result.shape == (20_000,)
+
+
+@pytest.mark.benchmark(group="micro-aggregation")
+def test_bulyan_aggregation_speed(benchmark):
+    aggregator = BulyanAggregator(num_byzantine=5)
+    result = benchmark(aggregator, VOTES_25)
+    assert result.shape == (20_000,)
+
+
+@pytest.mark.benchmark(group="micro-aggregation")
+def test_majority_vote_speed(benchmark):
+    winner, count = benchmark(majority_vote, FILE_COPIES)
+    assert count == 2
+
+
+@pytest.mark.benchmark(group="micro-assignment")
+def test_mols_assignment_construction_speed(benchmark):
+    assignment = benchmark(lambda: MOLSAssignment(load=7, replication=5).build())
+    assert assignment.num_workers == 35
+
+
+@pytest.mark.benchmark(group="micro-assignment")
+def test_ramanujan_assignment_construction_speed(benchmark):
+    assignment = benchmark(lambda: RamanujanAssignment(m=5, s=5).build())
+    assert assignment.num_workers == 25
+
+
+@pytest.mark.benchmark(group="micro-distortion")
+def test_exhaustive_distortion_search_speed(benchmark):
+    assignment = MOLSAssignment(load=5, replication=3).assignment
+    result = benchmark(max_distortion_exhaustive, assignment, 5)
+    assert result.c_max == 8
+
+
+@pytest.mark.benchmark(group="micro-distortion")
+def test_local_search_distortion_speed(benchmark):
+    assignment = MOLSAssignment(load=7, replication=5).assignment
+    result = benchmark.pedantic(
+        max_distortion_local_search, args=(assignment, 10), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+    assert result.c_max >= 10

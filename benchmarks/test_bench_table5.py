@@ -1,0 +1,45 @@
+"""Benchmark: paper Table 5 — MOLS (K, f, l, r) = (35, 49, 7, 5), q = 3..13.
+
+Exhaustive search is used up to q = 8 (C(35, 8) ≈ 23.5M sets, the same point
+at which the paper notes exhaustive evaluation becomes expensive); larger q
+rows use the greedy + swap local-search heuristic, which is a lower bound on
+the true c_max.  The heuristic matches the paper everywhere except q = 9,
+where it reports 9 versus the paper's exhaustive 10 — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_text
+from repro.experiments.paper_reference import TABLE5
+from repro.experiments.report import format_rows
+from repro.experiments.tables import generate_table5
+
+#: rows the heuristic is known to undershoot relative to the paper's exhaustive value
+HEURISTIC_GAP_ROWS = {9}
+#: enough to run the exhaustive optimizer for q <= 8
+EXHAUSTIVE_LIMIT = 25_000_000
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table5_distortion_fractions(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        generate_table5,
+        kwargs={"exhaustive_limit": EXHAUSTIVE_LIMIT},
+        rounds=1,
+        iterations=1,
+    )
+    save_text(results_dir, "table5", format_rows(rows, title="Table 5 (MOLS l=7, r=5)"))
+    assert [row["q"] for row in rows] == sorted(TABLE5)
+    for row in rows:
+        q = row["q"]
+        c_max, eps, eps_base, eps_frc, gamma = TABLE5[q]
+        assert row["gamma"] == pytest.approx(gamma, abs=0.01)
+        assert row["epsilon_frc"] == pytest.approx(eps_frc, abs=0.005)
+        # c_max never exceeds the expansion bound.
+        assert row["c_max"] <= row["gamma"] + 1e-9
+        if row["exact"] or q not in HEURISTIC_GAP_ROWS:
+            assert row["c_max"] == c_max, f"q={q}"
+        else:
+            # Heuristic rows are lower bounds on the exhaustive optimum.
+            assert row["c_max"] <= c_max
+            assert row["c_max"] >= c_max - 1

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Robust-aggregation shootout on a fixed set of corrupted gradients.
+
+The paper composes its redundancy layer with classic robust aggregators
+(median, median-of-means, Multi-Krum, Bulyan, signSGD).  This example isolates
+that layer: it generates a batch of honest gradients plus a configurable
+fraction of adversarial votes (constant, reversed or ALIE-style collusion) and
+measures how far each aggregator's output lands from the honest mean — the
+quantity that ultimately decides whether SGD keeps descending.
+
+Run with::
+
+    python examples/aggregator_shootout.py [--dim 1000] [--votes 25] [--byzantine 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    BulyanAggregator,
+    CoordinateWiseMedian,
+    GeometricMedianAggregator,
+    KrumAggregator,
+    MeanAggregator,
+    MedianOfMeansAggregator,
+    MultiKrumAggregator,
+    SignSGDMajorityAggregator,
+    TrimmedMeanAggregator,
+)
+from repro.experiments.report import format_rows
+
+
+def make_votes(kind: str, num_votes: int, num_byzantine: int, dim: int, rng) -> np.ndarray:
+    """Honest gradients plus ``num_byzantine`` adversarial votes of the given kind."""
+    honest = rng.standard_normal((num_votes - num_byzantine, dim)) * 0.5 + 1.0
+    if kind == "constant":
+        bad = np.full((num_byzantine, dim), -10.0)
+    elif kind == "reversed":
+        bad = -100.0 * honest[: num_byzantine if num_byzantine <= honest.shape[0] else 1]
+        if bad.shape[0] < num_byzantine:
+            bad = np.tile(bad, (num_byzantine, 1))[:num_byzantine]
+    elif kind == "alie":
+        mean, std = honest.mean(axis=0), honest.std(axis=0)
+        bad = np.tile(mean - 1.0 * std, (num_byzantine, 1))
+    else:
+        raise ValueError(f"unknown attack kind {kind!r}")
+    return np.vstack([honest, bad]), honest
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dim", type=int, default=1000)
+    parser.add_argument("--votes", type=int, default=25)
+    parser.add_argument("--byzantine", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    q = args.byzantine
+    aggregators = {
+        "mean (not robust)": MeanAggregator(),
+        "coordinate-wise median": CoordinateWiseMedian(),
+        "trimmed mean": TrimmedMeanAggregator(trim=q),
+        "median-of-means": MedianOfMeansAggregator(num_groups=max(args.votes // 5, 1)),
+        "Krum": KrumAggregator(num_byzantine=q),
+        "Multi-Krum": MultiKrumAggregator(num_byzantine=q),
+        "Bulyan": BulyanAggregator(num_byzantine=q),
+        "geometric median": GeometricMedianAggregator(),
+        "signSGD majority": SignSGDMajorityAggregator(),
+    }
+
+    for kind in ("constant", "reversed", "alie"):
+        votes, honest = make_votes(kind, args.votes, q, args.dim, rng)
+        target = honest.mean(axis=0)
+        rows = []
+        for label, aggregator in aggregators.items():
+            try:
+                output = aggregator(votes)
+            except Exception as exc:  # breakdown-point violations, etc.
+                rows.append({"aggregator": label, "error_vs_honest_mean": float("nan"),
+                             "note": type(exc).__name__})
+                continue
+            if label == "signSGD majority":
+                # signSGD outputs a direction, not a magnitude: compare signs.
+                error = float(np.mean(np.sign(output) != np.sign(target)))
+                note = "fraction of wrong signs"
+            else:
+                error = float(np.linalg.norm(output - target) / np.linalg.norm(target))
+                note = "relative L2 error"
+            rows.append({"aggregator": label, "error_vs_honest_mean": error, "note": note})
+        print(
+            format_rows(
+                rows,
+                title=f"Attack = {kind}: {q}/{args.votes} votes Byzantine, dim={args.dim}",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

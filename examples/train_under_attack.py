@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Distributed training under an omniscient ALIE attack (paper Figure 2 setup).
+
+Trains the same classifier three ways on the synthetic image-classification
+substrate, all under the ALIE attack with the omniscient worst-case choice of
+q = 5 Byzantine workers out of K = 25:
+
+* **ByzShield** — Ramanujan Case 2 assignment (r = l = 5), per-file majority
+  vote, coordinate-wise median over the 25 voted gradients;
+* **baseline median** — no redundancy, coordinate-wise median over the 25
+  worker gradients;
+* **DETOX (median-of-means)** — FRC grouping into 5 groups of 5 workers,
+  per-group vote, median-of-means over the group winners.
+
+All three runs share the dataset, the initial model and the batch sequence, so
+the only difference is the defense.  Expect ByzShield's realized distortion
+fraction (0.08) to be far below DETOX's (0.2) under this adversary.
+
+Run with::
+
+    python examples/train_under_attack.py [--iterations 150] [--q 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    ALIEAttack,
+    CoordinateWiseMedian,
+    MedianOfMeansAggregator,
+    RamanujanAssignment,
+    TrainingConfig,
+    build_byzshield_trainer,
+    build_detox_trainer,
+    build_vanilla_trainer,
+    build_mlp,
+    make_synthetic_images,
+)
+from repro.data import train_test_split
+from repro.experiments.report import format_rows, format_series
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=150, help="training iterations")
+    parser.add_argument("--q", type=int, default=5, help="number of Byzantine workers")
+    parser.add_argument("--seed", type=int, default=0, help="global seed")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+
+    # Synthetic stand-in for CIFAR-10 (see DESIGN.md substitutions).
+    dataset = make_synthetic_images(
+        num_samples=3000, num_classes=10, image_size=8, channels=3, seed=args.seed, flatten=True
+    )
+    train_data, test_data = train_test_split(dataset, test_fraction=0.2, seed=args.seed + 1)
+
+    config = TrainingConfig(
+        batch_size=150,
+        num_iterations=args.iterations,
+        learning_rate=0.05,
+        lr_decay=0.96,
+        lr_period=15,
+        momentum=0.9,
+        eval_every=max(args.iterations // 10, 1),
+        seed=args.seed,
+    )
+
+    def fresh_model():
+        # Every run starts from the same w0.
+        return build_mlp(train_data.flat_feature_dim, 10, hidden=(64,), seed=args.seed)
+
+    runs = {
+        "ByzShield (median)": build_byzshield_trainer(
+            scheme=RamanujanAssignment(m=5, s=5),
+            model=fresh_model(),
+            train_dataset=train_data,
+            test_dataset=test_data,
+            config=config,
+            attack=ALIEAttack(),
+            num_byzantine=args.q,
+        ),
+        "Baseline median": build_vanilla_trainer(
+            num_workers=25,
+            model=fresh_model(),
+            train_dataset=train_data,
+            test_dataset=test_data,
+            config=config,
+            aggregator=CoordinateWiseMedian(),
+            attack=ALIEAttack(),
+            num_byzantine=args.q,
+        ),
+        "DETOX (median-of-means)": build_detox_trainer(
+            num_workers=25,
+            replication=5,
+            model=fresh_model(),
+            train_dataset=train_data,
+            test_dataset=test_data,
+            config=config,
+            aggregator=MedianOfMeansAggregator(num_groups=2),
+            attack=ALIEAttack(),
+            num_byzantine=args.q,
+        ),
+    }
+
+    histories = {}
+    for label, trainer in runs.items():
+        print(f"training: {label} (q={args.q}, omniscient Byzantine selection)")
+        histories[label] = trainer.train(verbose=True)
+        print()
+
+    print(format_series(
+        {label: history.accuracy_series() for label, history in histories.items()},
+        title="Top-1 test accuracy vs iteration",
+    ))
+    print()
+    summary = [
+        {
+            "defense": label,
+            "final_accuracy": history.final_accuracy,
+            "best_accuracy": history.best_accuracy,
+            "mean_distortion": float(history.distortion_fractions.mean()),
+        }
+        for label, history in histories.items()
+    ]
+    print(format_rows(summary, title="Summary"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Auror-style clustering defense (Shen et al., 2016).
+
+Auror partitions the values of each gradient dimension into two clusters with
+1-D k-means; if the clusters are far apart (relative to the overall spread)
+the smaller cluster is treated as malicious and discarded, and the mean of the
+larger cluster is returned.  When the separation is small all values are
+averaged.  This is the "variant of trimmed median" described in the paper's
+related-work discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator
+from repro.exceptions import AggregationError
+
+__all__ = ["AurorAggregator", "two_means_1d"]
+
+
+def two_means_1d(values: np.ndarray, max_iterations: int = 50) -> tuple[np.ndarray, float, float]:
+    """1-D 2-means clustering (exact enough for a per-coordinate defense).
+
+    Returns ``(labels, center_low, center_high)`` where ``labels`` marks
+    membership in the higher-mean cluster.  Initialization uses the min and
+    max, which for one dimension makes Lloyd's algorithm deterministic.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    low, high = float(values.min()), float(values.max())
+    if low == high:
+        return np.zeros(values.size, dtype=bool), low, high
+    for _ in range(max_iterations):
+        labels = np.abs(values - high) < np.abs(values - low)
+        new_low = float(values[~labels].mean()) if np.any(~labels) else low
+        new_high = float(values[labels].mean()) if np.any(labels) else high
+        if new_low == low and new_high == high:
+            break
+        low, high = new_low, new_high
+    return labels, low, high
+
+
+class AurorAggregator(Aggregator):
+    """Per-coordinate two-cluster filtering followed by averaging.
+
+    Parameters
+    ----------
+    distance_threshold:
+        Clusters whose centers differ by more than ``distance_threshold``
+        times the coordinate's standard deviation trigger discarding of the
+        smaller cluster.
+    """
+
+    aggregator_name = "auror"
+
+    def __init__(self, distance_threshold: float = 2.0) -> None:
+        if distance_threshold <= 0:
+            raise AggregationError(
+                f"distance_threshold must be positive, got {distance_threshold}"
+            )
+        self.distance_threshold = float(distance_threshold)
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        n, d = matrix.shape
+        output = np.empty(d, dtype=np.float64)
+        stds = matrix.std(axis=0)
+        for dim in range(d):
+            column = matrix[:, dim]
+            std = stds[dim]
+            if std == 0.0:
+                output[dim] = column[0]
+                continue
+            labels, low, high = two_means_1d(column)
+            if abs(high - low) > self.distance_threshold * std:
+                keep = labels if labels.sum() >= (n - labels.sum()) else ~labels
+                output[dim] = column[keep].mean()
+            else:
+                output[dim] = column.mean()
+        return output

@@ -1,0 +1,100 @@
+"""Per-file majority vote over replicated gradients (paper Eq. (3)).
+
+Each file's gradient is computed by ``r`` workers; the PS picks the value that
+appears the largest number of times.  Honest workers return bit-identical
+gradients for the same file (the simulator guarantees this, matching the
+paper's implementation note), so exact-equality voting suffices; a tolerance
+is supported for robustness against floating-point jitter, implemented by
+clustering votes whose distance is below the tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AggregationError
+from repro.utils.arrays import stack_vectors
+
+__all__ = ["majority_vote", "MajorityVote"]
+
+
+def _exact_majority(matrix: np.ndarray) -> tuple[np.ndarray, int]:
+    """Majority by exact byte equality; returns (winner, count)."""
+    counts: dict[bytes, int] = {}
+    first_index: dict[bytes, int] = {}
+    for idx in range(matrix.shape[0]):
+        key = matrix[idx].tobytes()
+        counts[key] = counts.get(key, 0) + 1
+        first_index.setdefault(key, idx)
+    # Deterministic tie-break: highest count, then earliest appearance.
+    best_key = max(counts, key=lambda k: (counts[k], -first_index[k]))
+    return matrix[first_index[best_key]].copy(), counts[best_key]
+
+
+def _clustered_majority(matrix: np.ndarray, tolerance: float) -> tuple[np.ndarray, int]:
+    """Majority by tolerance clustering (union of within-`tolerance` votes)."""
+    n = matrix.shape[0]
+    assigned = np.full(n, -1, dtype=np.int64)
+    clusters: list[list[int]] = []
+    for idx in range(n):
+        placed = False
+        for cid, members in enumerate(clusters):
+            representative = matrix[members[0]]
+            if np.linalg.norm(matrix[idx] - representative) <= tolerance:
+                members.append(idx)
+                assigned[idx] = cid
+                placed = True
+                break
+        if not placed:
+            assigned[idx] = len(clusters)
+            clusters.append([idx])
+    sizes = [len(members) for members in clusters]
+    winner = int(np.argmax(sizes))
+    members = clusters[winner]
+    return matrix[members].mean(axis=0), len(members)
+
+
+def majority_vote(
+    votes, tolerance: float = 0.0
+) -> tuple[np.ndarray, int]:
+    """Return ``(winning gradient, vote count)`` among the replicated copies.
+
+    Parameters
+    ----------
+    votes:
+        The ``r`` gradients returned for one file (sequence of vectors or an
+        ``(r, d)`` matrix).
+    tolerance:
+        Zero (default) selects exact-equality voting; a positive value groups
+        votes within Euclidean distance ``tolerance`` of a cluster
+        representative and returns the mean of the winning cluster.
+    """
+    matrix = votes if isinstance(votes, np.ndarray) and votes.ndim == 2 else stack_vectors(votes)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape[0] == 0:
+        raise AggregationError("majority vote needs at least one vote")
+    if tolerance < 0:
+        raise AggregationError(f"tolerance must be non-negative, got {tolerance}")
+    if tolerance == 0.0:
+        return _exact_majority(matrix)
+    return _clustered_majority(matrix, tolerance)
+
+
+class MajorityVote:
+    """Callable wrapper around :func:`majority_vote` returning only the gradient."""
+
+    def __init__(self, tolerance: float = 0.0) -> None:
+        if tolerance < 0:
+            raise AggregationError(f"tolerance must be non-negative, got {tolerance}")
+        self.tolerance = float(tolerance)
+
+    def __call__(self, votes) -> np.ndarray:
+        winner, _ = majority_vote(votes, tolerance=self.tolerance)
+        return winner
+
+    def with_count(self, votes) -> tuple[np.ndarray, int]:
+        """Return both the winning gradient and how many votes it received."""
+        return majority_vote(votes, tolerance=self.tolerance)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MajorityVote(tolerance={self.tolerance})"

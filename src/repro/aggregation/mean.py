@@ -1,0 +1,23 @@
+"""Plain averaging — the non-robust reference aggregator.
+
+Blanchard et al. (2017) showed that no linear rule, averaging included, can
+tolerate even a single Byzantine worker; the mean is included as the
+no-attack reference and as the building block of median-of-means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator
+
+__all__ = ["MeanAggregator"]
+
+
+class MeanAggregator(Aggregator):
+    """Coordinate-wise arithmetic mean of all votes."""
+
+    aggregator_name = "mean"
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        return matrix.mean(axis=0)

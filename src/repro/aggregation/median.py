@@ -1,0 +1,25 @@
+"""Coordinate-wise median (Yin et al., 2018/2019).
+
+This is the robust aggregator ByzShield pairs with its majority vote
+(Algorithm 1, lines 14–17 followed by the model update).  Each gradient
+dimension is treated independently and the median of the ``n`` votes is
+returned; it tolerates strictly fewer than half corrupted votes per
+coordinate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator
+
+__all__ = ["CoordinateWiseMedian"]
+
+
+class CoordinateWiseMedian(Aggregator):
+    """Per-dimension median of the votes."""
+
+    aggregator_name = "median"
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        return np.median(matrix, axis=0)

@@ -1,0 +1,43 @@
+"""Median-of-means (Minsker, 2015; used by DETOX as its robust stage).
+
+Votes are partitioned into ``num_groups`` buckets, each bucket is averaged,
+and the coordinate-wise median of the bucket means is returned.  DETOX applies
+this to the majority-voted group gradients; the baseline version applies it
+directly to the worker gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator
+from repro.exceptions import AggregationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MedianOfMeansAggregator"]
+
+
+class MedianOfMeansAggregator(Aggregator):
+    """Coordinate-wise median of per-bucket means.
+
+    Parameters
+    ----------
+    num_groups:
+        Number of buckets; the votes are dealt into buckets round-robin in
+        their given order.  Values larger than the number of votes degrade
+        gracefully to one vote per bucket.
+    """
+
+    aggregator_name = "median_of_means"
+
+    def __init__(self, num_groups: int) -> None:
+        self.num_groups = check_positive_int(num_groups, "num_groups")
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        n, d = matrix.shape
+        groups = min(self.num_groups, n)
+        means = np.empty((groups, d), dtype=np.float64)
+        for g in range(groups):
+            bucket = matrix[g::groups]
+            means[g] = bucket.mean(axis=0)
+        return np.median(means, axis=0)

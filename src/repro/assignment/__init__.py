@@ -1,0 +1,41 @@
+"""Task-assignment schemes: how files are placed on workers.
+
+Each scheme builds a :class:`repro.graphs.BipartiteAssignment`:
+
+* :class:`MOLSAssignment` — paper Algorithm 2, mutually orthogonal Latin
+  squares of prime degree ``l`` with replication ``r <= l - 1``.
+* :class:`RamanujanAssignment` — paper Section 4.2, array-code Ramanujan
+  bigraphs (Case 1: ``m < s``; Case 2: ``m >= s``).
+* :class:`FRCAssignment` — the Fractional Repetition Code grouping used by
+  DETOX and DRACO (workers split into ``K/r`` groups, each group replicates
+  one file).
+* :class:`RandomAssignment` — a random right-regular placement, used as an
+  ablation of the "careful assignment" claim.
+* :class:`BaselineAssignment` — no redundancy; each worker owns one file
+  (``f = K``, ``r = 1``), modelling the plain robust-aggregation baselines.
+"""
+
+from repro.assignment.base import AssignmentScheme
+from repro.assignment.mols import MOLSAssignment
+from repro.assignment.ramanujan import RamanujanAssignment, ramanujan_biadjacency
+from repro.assignment.frc import FRCAssignment
+from repro.assignment.random_scheme import RandomAssignment
+from repro.assignment.baseline import BaselineAssignment
+from repro.assignment.registry import (
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+
+__all__ = [
+    "AssignmentScheme",
+    "MOLSAssignment",
+    "RamanujanAssignment",
+    "ramanujan_biadjacency",
+    "FRCAssignment",
+    "RandomAssignment",
+    "BaselineAssignment",
+    "available_schemes",
+    "get_scheme",
+    "register_scheme",
+]

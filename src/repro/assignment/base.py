@@ -1,0 +1,74 @@
+"""Abstract base class for task-assignment schemes."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.graphs.bipartite import BipartiteAssignment
+
+__all__ = ["AssignmentScheme"]
+
+
+class AssignmentScheme(abc.ABC):
+    """A rule for placing ``f`` gradient files on ``K`` workers.
+
+    Concrete schemes are immutable descriptions of a placement; calling
+    :meth:`build` materializes the bipartite graph.  The graph is cached
+    because it is queried repeatedly (distortion analysis, every training
+    iteration), and all schemes in this library are deterministic given their
+    construction arguments.
+    """
+
+    #: short identifier used by the registry and experiment configs
+    scheme_name: str = "abstract"
+
+    @abc.abstractmethod
+    def build(self) -> BipartiteAssignment:
+        """Construct and return the worker/file assignment graph."""
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def assignment(self) -> BipartiteAssignment:
+        """The (cached) assignment graph."""
+        cached = getattr(self, "_cached_assignment", None)
+        if cached is None:
+            cached = self.build()
+            self._cached_assignment = cached
+        return cached
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers ``K`` used by this scheme."""
+        return self.assignment.num_workers
+
+    @property
+    def num_files(self) -> int:
+        """Number of files ``f`` each batch is partitioned into."""
+        return self.assignment.num_files
+
+    @property
+    def computational_load(self) -> int:
+        """Files per worker ``l``."""
+        return self.assignment.computational_load
+
+    @property
+    def replication(self) -> int:
+        """Workers per file ``r``."""
+        return self.assignment.replication
+
+    def describe(self) -> dict[str, int | str]:
+        """Summary dictionary ``{scheme, K, f, l, r}`` for reports."""
+        return {
+            "scheme": self.scheme_name,
+            "num_workers": self.num_workers,
+            "num_files": self.num_files,
+            "load": self.computational_load,
+            "replication": self.replication,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        d = self.describe()
+        return (
+            f"{type(self).__name__}(K={d['num_workers']}, f={d['num_files']}, "
+            f"l={d['load']}, r={d['replication']})"
+        )

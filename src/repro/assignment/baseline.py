@@ -1,0 +1,36 @@
+"""Baseline assignment without redundancy.
+
+Plain robust-aggregation schemes (median, Krum, Bulyan, signSGD, ...) do not
+replicate work: each of the ``K`` workers computes the gradient of its own
+slice of the batch, so ``f = K``, ``l = r = 1`` and the adversary corrupts
+exactly ``q`` of the ``K`` gradients (``ε̂ = q / K``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import AssignmentScheme
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BaselineAssignment"]
+
+
+class BaselineAssignment(AssignmentScheme):
+    """Identity assignment: worker ``j`` owns file ``j`` and nothing else."""
+
+    scheme_name = "baseline"
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers_total = check_positive_int(num_workers, "num_workers K")
+
+    def build(self) -> BipartiteAssignment:
+        """Materialize the ``K x K`` identity bi-adjacency matrix."""
+        K = self.num_workers_total
+        return BipartiteAssignment(np.eye(K, dtype=np.int8), name=f"baseline(K={K})")
+
+    @staticmethod
+    def worst_case_epsilon(q: int, num_workers: int) -> float:
+        """Distortion fraction ``q / K`` — every Byzantine corrupts its own file."""
+        return q / num_workers

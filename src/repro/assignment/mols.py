@@ -1,0 +1,114 @@
+"""MOLS-based task assignment (paper Algorithm 2, Section 4.1).
+
+The batch is split into ``f = l²`` files identified with the cells ``(i, j)``
+of an ``l x l`` grid (file index ``i*l + j``).  Given ``r`` mutually
+orthogonal Latin squares ``L_1, ..., L_r`` of prime degree ``l``, worker
+``U_{k*l + s}`` (the ``s``-th worker of the ``k``-th *parallel class*) stores
+the files located at the cells of symbol ``s`` in ``L_{k+1}``.
+
+Structural consequences used throughout the paper and verified by the tests:
+
+* each worker stores exactly ``l`` files,
+* two workers of the same parallel class share no file,
+* two workers of different parallel classes share exactly one file,
+* the resulting graph has ``µ₁ = 1/r`` (it is an optimal expander).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import AssignmentScheme
+from repro.exceptions import ConfigurationError
+from repro.fields.latin_squares import LatinSquare, mols_family
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.utils.validation import check_odd, check_positive_int, check_prime
+
+__all__ = ["MOLSAssignment"]
+
+
+class MOLSAssignment(AssignmentScheme):
+    """Worker/file placement driven by mutually orthogonal Latin squares.
+
+    Parameters
+    ----------
+    load:
+        Computational load ``l`` — prime degree of the Latin squares.  The
+        scheme uses ``K = r*l`` workers and ``f = l²`` files.
+    replication:
+        Replication factor ``r``; must be odd (for majority voting),
+        at least 3 and at most ``l - 1``.
+    require_odd_replication:
+        Majority voting needs an odd ``r``; set to False only for structural
+        studies of the graph itself.
+    """
+
+    scheme_name = "mols"
+
+    def __init__(
+        self, load: int, replication: int, require_odd_replication: bool = True
+    ) -> None:
+        self.load = check_prime(load, "load l")
+        self.replication_factor = check_positive_int(replication, "replication r")
+        if replication > load - 1:
+            raise ConfigurationError(
+                f"MOLS supports at most l-1={load - 1} replicas, got r={replication}"
+            )
+        if replication < 2:
+            raise ConfigurationError(
+                f"redundancy requires r >= 2, got r={replication}"
+            )
+        if require_odd_replication:
+            check_odd(replication, "replication r")
+
+    # -- construction ---------------------------------------------------------
+    def latin_squares(self) -> list[LatinSquare]:
+        """The ``r`` MOLS ``L_1, ..., L_r`` used for the placement."""
+        return mols_family(self.load, self.replication_factor)
+
+    def worker_files(self) -> list[list[int]]:
+        """Per-worker file lists — the rows of the paper's Table 2."""
+        l = self.load
+        squares = self.latin_squares()
+        assignments: list[list[int]] = []
+        for k, square in enumerate(squares):
+            for s in range(l):
+                cells = square.symbol_cells(s)
+                files = sorted(i * l + j for i, j in cells)
+                assignments.append(files)
+        return assignments
+
+    def build(self) -> BipartiteAssignment:
+        """Materialize the bipartite graph with ``K = r*l`` workers, ``f = l²`` files."""
+        l = self.load
+        return BipartiteAssignment.from_worker_files(
+            self.worker_files(),
+            num_files=l * l,
+            name=f"mols(l={l},r={self.replication_factor})",
+        )
+
+    # -- structural helpers ----------------------------------------------------
+    def parallel_class_of_worker(self, worker: int) -> int:
+        """Index ``k`` of the Latin square that populated ``worker`` (worker // l)."""
+        if not (0 <= worker < self.replication_factor * self.load):
+            raise ConfigurationError(
+                f"worker {worker} out of range [0, {self.replication_factor * self.load})"
+            )
+        return worker // self.load
+
+    def workers_of_parallel_class(self, k: int) -> list[int]:
+        """The ``l`` workers populated from Latin square ``L_{k+1}``."""
+        if not (0 <= k < self.replication_factor):
+            raise ConfigurationError(
+                f"parallel class {k} out of range [0, {self.replication_factor})"
+            )
+        return list(range(k * self.load, (k + 1) * self.load))
+
+    def file_cell(self, file_index: int) -> tuple[int, int]:
+        """Grid cell ``(i, j)`` corresponding to ``file_index = i*l + j``."""
+        l = self.load
+        if not (0 <= file_index < l * l):
+            raise ConfigurationError(
+                f"file {file_index} out of range [0, {l * l})"
+            )
+        return file_index // l, file_index % l

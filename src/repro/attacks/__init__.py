@@ -1,0 +1,48 @@
+"""Byzantine attacks and adversarial worker selection.
+
+Two orthogonal choices define the adversary of the paper:
+
+* **which** workers are Byzantine — :mod:`repro.attacks.selection` provides
+  random selection (the DETOX/DRACO assumption) and the paper's omniscient
+  selection that maximizes the distortion fraction ``ε̂``;
+* **what** the Byzantine workers send — :mod:`repro.attacks` implements ALIE,
+  the constant attack, reversed gradient, plus Gaussian-noise and random
+  attacks used in extension experiments.
+"""
+
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.reversed_gradient import ReversedGradientAttack
+from repro.attacks.constant import ConstantAttack
+from repro.attacks.alie import ALIEAttack, alie_z_max
+from repro.attacks.noise import GaussianNoiseAttack, UniformRandomAttack
+from repro.attacks.selection import (
+    ByzantineSelector,
+    FixedSelector,
+    RandomSelector,
+    OmniscientSelector,
+)
+from repro.attacks.registry import (
+    available_attacks,
+    create_attack,
+    get_attack,
+    register_attack,
+)
+
+__all__ = [
+    "Attack",
+    "AttackContext",
+    "ReversedGradientAttack",
+    "ConstantAttack",
+    "ALIEAttack",
+    "alie_z_max",
+    "GaussianNoiseAttack",
+    "UniformRandomAttack",
+    "ByzantineSelector",
+    "FixedSelector",
+    "RandomSelector",
+    "OmniscientSelector",
+    "available_attacks",
+    "create_attack",
+    "get_attack",
+    "register_attack",
+]

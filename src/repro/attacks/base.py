@@ -1,0 +1,107 @@
+"""Attack interface and the omniscient attack context.
+
+The attack model of the paper (Section 2, Eq. (2)) lets Byzantine workers
+return *any* vector for each file they are assigned.  Because the adversary is
+omniscient, an attack may inspect the complete set of true per-file gradients,
+the assignment graph and the identity of all Byzantine workers before
+choosing the adversarial vectors — ALIE uses exactly this to estimate the
+gradient statistics it distorts.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AttackError
+from repro.graphs.bipartite import BipartiteAssignment
+
+__all__ = ["AttackContext", "Attack"]
+
+
+@dataclass(frozen=True)
+class AttackContext:
+    """Everything an omniscient adversary can see in one iteration.
+
+    Attributes
+    ----------
+    assignment:
+        The worker/file assignment graph.
+    byzantine_workers:
+        Identities of the compromised workers this iteration.
+    honest_file_gradients:
+        The true gradient of every file, keyed by file index (what honest
+        workers would return).
+    iteration:
+        Zero-based training iteration (attacks may vary over time).
+    rng:
+        Generator for stochastic attacks; seeded by the simulator.
+    """
+
+    assignment: BipartiteAssignment
+    byzantine_workers: tuple[int, ...]
+    honest_file_gradients: dict[int, np.ndarray]
+    iteration: int = 0
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    @property
+    def num_byzantine(self) -> int:
+        """Number of compromised workers ``q``."""
+        return len(self.byzantine_workers)
+
+    @property
+    def gradient_dim(self) -> int:
+        """Dimensionality ``d`` of the model gradients."""
+        if not self.honest_file_gradients:
+            raise AttackError("attack context has no honest gradients")
+        return int(next(iter(self.honest_file_gradients.values())).size)
+
+    def stacked_honest_gradients(self) -> np.ndarray:
+        """All true file gradients stacked into an ``(f, d)`` matrix (file order)."""
+        files = sorted(self.honest_file_gradients)
+        return np.vstack([self.honest_file_gradients[i].ravel() for i in files])
+
+
+class Attack(abc.ABC):
+    """A rule producing the adversarial vectors of the Byzantine workers.
+
+    :meth:`apply` returns ``{(worker, file): vector}`` for every Byzantine
+    worker and every file assigned to it; the simulator substitutes these for
+    the honest gradients before anything reaches the PS.
+    """
+
+    attack_name: str = "abstract"
+
+    @abc.abstractmethod
+    def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
+        """Adversarial vector returned by ``worker`` for ``file``."""
+
+    def prepare(self, context: AttackContext) -> None:
+        """Hook called once per iteration before any :meth:`craft` call.
+
+        Collusion-based attacks (ALIE) compute their shared statistics here.
+        """
+
+    def apply(self, context: AttackContext) -> dict[tuple[int, int], np.ndarray]:
+        """All adversarial returns of this iteration."""
+        if context.num_byzantine == 0:
+            return {}
+        self.prepare(context)
+        crafted: dict[tuple[int, int], np.ndarray] = {}
+        for worker in context.byzantine_workers:
+            for file in context.assignment.files_of_worker(worker):
+                vector = np.asarray(
+                    self.craft(context, worker, file), dtype=np.float64
+                ).ravel()
+                expected = context.gradient_dim
+                if vector.size != expected:
+                    raise AttackError(
+                        f"attack produced a vector of size {vector.size}, expected {expected}"
+                    )
+                crafted[(worker, file)] = vector
+        return crafted
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"

@@ -1,0 +1,62 @@
+"""Noise attacks used in extension / ablation experiments.
+
+These are not part of the paper's main evaluation but are standard in the
+Byzantine-robustness literature and exercise different failure modes: huge
+random values (easy for robust rules, catastrophic for the mean) and
+plausible-magnitude random directions (harder to distinguish from honest
+stochastic noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.exceptions import AttackError
+
+__all__ = ["GaussianNoiseAttack", "UniformRandomAttack"]
+
+
+class GaussianNoiseAttack(Attack):
+    """Return ``g + N(0, σ²)`` noise with a configurable (possibly huge) σ.
+
+    Parameters
+    ----------
+    sigma:
+        Noise standard deviation.
+    around_true_gradient:
+        If True the noise is added to the true gradient (harder to detect);
+        otherwise pure noise is returned.
+    """
+
+    attack_name = "gaussian_noise"
+
+    def __init__(self, sigma: float = 10.0, around_true_gradient: bool = False) -> None:
+        if not np.isfinite(sigma) or sigma <= 0:
+            raise AttackError(f"sigma must be positive and finite, got {sigma}")
+        self.sigma = float(sigma)
+        self.around_true_gradient = bool(around_true_gradient)
+
+    def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
+        noise = context.rng.standard_normal(context.gradient_dim) * self.sigma
+        if self.around_true_gradient:
+            return context.honest_file_gradients[file] + noise
+        return noise
+
+
+class UniformRandomAttack(Attack):
+    """Return a uniform random vector in ``[-magnitude, magnitude]^d``."""
+
+    attack_name = "uniform_random"
+
+    def __init__(self, magnitude: float = 1.0) -> None:
+        if not np.isfinite(magnitude) or magnitude <= 0:
+            raise AttackError(
+                f"magnitude must be positive and finite, got {magnitude}"
+            )
+        self.magnitude = float(magnitude)
+
+    def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
+        return context.rng.uniform(
+            -self.magnitude, self.magnitude, size=context.gradient_dim
+        )

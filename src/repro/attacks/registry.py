@@ -1,0 +1,58 @@
+"""Registry of attacks, keyed by name for experiment configurations."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.attacks.alie import ALIEAttack
+from repro.attacks.base import Attack
+from repro.attacks.constant import ConstantAttack
+from repro.attacks.noise import GaussianNoiseAttack, UniformRandomAttack
+from repro.attacks.reversed_gradient import ReversedGradientAttack
+from repro.exceptions import ConfigurationError
+
+__all__ = ["register_attack", "get_attack", "create_attack", "available_attacks"]
+
+_REGISTRY: dict[str, Type[Attack]] = {}
+
+
+def register_attack(name: str, cls: Type[Attack], overwrite: bool = False) -> None:
+    """Register an attack class under ``name``."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"attack {name!r} is already registered")
+    if not issubclass(cls, Attack):
+        raise ConfigurationError(
+            f"{cls!r} does not subclass Attack and cannot be registered"
+        )
+    _REGISTRY[key] = cls
+
+
+def get_attack(name: str) -> Type[Attack]:
+    """Look up an attack class by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown attack {name!r}; available: {available_attacks()}"
+        )
+    return _REGISTRY[key]
+
+
+def create_attack(name: str, **kwargs) -> Attack:
+    """Instantiate a registered attack with keyword arguments."""
+    return get_attack(name)(**kwargs)
+
+
+def available_attacks() -> list[str]:
+    """Sorted list of registered attack names."""
+    return sorted(_REGISTRY)
+
+
+for _name, _cls in (
+    ("alie", ALIEAttack),
+    ("constant", ConstantAttack),
+    ("reversed_gradient", ReversedGradientAttack),
+    ("gaussian_noise", GaussianNoiseAttack),
+    ("uniform_random", UniformRandomAttack),
+):
+    register_attack(_name, _cls)

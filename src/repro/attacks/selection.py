@@ -1,0 +1,149 @@
+"""Byzantine worker selection policies.
+
+DETOX and DRACO assume the ``q`` Byzantine workers are chosen *at random*
+each iteration; ByzShield's threat model lets an omniscient adversary pick the
+worst possible set given the (known) task assignment.  The selectors below
+implement both, plus a fixed selection for controlled experiments.  The paper's
+deep-learning experiments use the omniscient selector ("we chose the q
+Byzantines such that ε̂ is maximized", Section 6.1).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.distortion import max_distortion
+from repro.exceptions import AttackError
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "ByzantineSelector",
+    "FixedSelector",
+    "RandomSelector",
+    "OmniscientSelector",
+]
+
+
+class ByzantineSelector(abc.ABC):
+    """Chooses which ``q`` workers behave adversarially in an iteration."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        assignment: BipartiteAssignment,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        """Return the Byzantine worker indices for ``iteration``."""
+
+
+class FixedSelector(ByzantineSelector):
+    """Always the same, explicitly provided set of workers."""
+
+    def __init__(self, workers: "tuple[int, ...] | list[int]") -> None:
+        workers = tuple(int(w) for w in workers)
+        if len(set(workers)) != len(workers):
+            raise AttackError("fixed Byzantine set contains duplicates")
+        self.workers = workers
+
+    def select(
+        self,
+        assignment: BipartiteAssignment,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        for w in self.workers:
+            if not (0 <= w < assignment.num_workers):
+                raise AttackError(
+                    f"fixed Byzantine worker {w} out of range [0, {assignment.num_workers})"
+                )
+        return self.workers
+
+
+class RandomSelector(ByzantineSelector):
+    """A fresh uniform set of ``q`` workers every iteration (DETOX's assumption).
+
+    Parameters
+    ----------
+    num_byzantine:
+        Number of compromised workers ``q``.
+    resample_every_iteration:
+        If False, the set is drawn once (at iteration 0) and kept.
+    """
+
+    def __init__(self, num_byzantine: int, resample_every_iteration: bool = True) -> None:
+        if num_byzantine < 0:
+            raise AttackError(f"num_byzantine must be non-negative, got {num_byzantine}")
+        self.num_byzantine = int(num_byzantine)
+        self.resample_every_iteration = bool(resample_every_iteration)
+        self._cached: tuple[int, ...] | None = None
+
+    def select(
+        self,
+        assignment: BipartiteAssignment,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        if self.num_byzantine > assignment.num_workers:
+            raise AttackError(
+                f"q={self.num_byzantine} exceeds K={assignment.num_workers}"
+            )
+        if not self.resample_every_iteration and self._cached is not None:
+            return self._cached
+        chosen = tuple(
+            int(w)
+            for w in sorted(
+                rng.choice(assignment.num_workers, size=self.num_byzantine, replace=False)
+            )
+        )
+        if not self.resample_every_iteration:
+            self._cached = chosen
+        return chosen
+
+
+class OmniscientSelector(ByzantineSelector):
+    """The paper's worst-case adversary: maximize the distortion fraction ``ε̂``.
+
+    The optimal set depends only on the assignment graph, so it is computed
+    once (with the exact or heuristic optimizer of
+    :mod:`repro.core.distortion`) and reused every iteration.
+
+    Parameters
+    ----------
+    num_byzantine:
+        Number of compromised workers ``q``.
+    method:
+        Search method forwarded to :func:`repro.core.distortion.max_distortion`.
+    seed:
+        Seed for the heuristic optimizer.
+    """
+
+    def __init__(
+        self,
+        num_byzantine: int,
+        method: str = "auto",
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if num_byzantine < 0:
+            raise AttackError(f"num_byzantine must be non-negative, got {num_byzantine}")
+        self.num_byzantine = int(num_byzantine)
+        self.method = method
+        self.seed = seed
+        self._cache: dict[int, tuple[int, ...]] = {}
+
+    def select(
+        self,
+        assignment: BipartiteAssignment,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        key = hash(assignment)
+        if key not in self._cache:
+            result = max_distortion(
+                assignment, self.num_byzantine, method=self.method, seed=self.seed
+            )
+            self._cache[key] = tuple(sorted(result.byzantine_workers))
+        return self._cache[key]

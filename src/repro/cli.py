@@ -1,0 +1,227 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (after installing the package)::
+
+    python -m repro.cli list                         # what can be regenerated
+    python -m repro.cli table table3                 # a distortion table
+    python -m repro.cli table table5 --method local_search
+    python -m repro.cli figure fig2 --scale tiny     # an accuracy figure
+    python -m repro.cli figure fig12                 # the timing breakdown
+    python -m repro.cli bounds                       # gamma-bound tightness + Claim 2
+    python -m repro.cli ablation assignment          # extra ablations
+    python -m repro.cli distortion --scheme mols --load 5 --replication 3 --q 4
+
+Output goes to stdout as aligned text tables; ``--csv PATH`` additionally
+writes machine-readable CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Sequence
+
+from repro.assignment.registry import available_schemes, create_scheme
+from repro.core.distortion import distortion_comparison_table
+from repro.exceptions import ReproError
+from repro.experiments.ablations import (
+    aggregator_ablation,
+    assignment_structure_ablation,
+)
+from repro.experiments.accuracy import (
+    SCALE_PRESETS,
+    available_figures,
+    run_accuracy_figure,
+)
+from repro.experiments.bounds import bound_tightness_table, claim2_verification_table
+from repro.experiments.paper_reference import FIGURE_DESCRIPTIONS, TABLE_CONFIGS
+from repro.experiments.report import format_rows, format_series, rows_to_csv
+from repro.experiments.tables import (
+    generate_table3,
+    generate_table4,
+    generate_table5,
+    generate_table6,
+)
+from repro.experiments.timing import generate_figure12
+
+__all__ = ["main", "build_parser"]
+
+_TABLE_GENERATORS: dict[str, Callable[..., list[dict[str, float]]]] = {
+    "table3": generate_table3,
+    "table4": generate_table4,
+    "table5": generate_table5,
+    "table6": generate_table6,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the ByzShield paper's tables and figures."
+    )
+    parser.add_argument(
+        "--csv", type=pathlib.Path, default=None, help="also write the rows as CSV to this path"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available tables and figures")
+
+    table_parser = subparsers.add_parser("table", help="regenerate a distortion table")
+    table_parser.add_argument("name", choices=sorted(_TABLE_GENERATORS))
+    table_parser.add_argument(
+        "--method",
+        default=None,
+        choices=["auto", "exhaustive", "greedy", "local_search"],
+        help="override the c_max search method",
+    )
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a figure")
+    figure_parser.add_argument("name", choices=[*available_figures(), "fig12"])
+    figure_parser.add_argument(
+        "--scale", default="small", choices=sorted(SCALE_PRESETS), help="experiment scale"
+    )
+    figure_parser.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("bounds", help="gamma-bound tightness and Claim 2 checks")
+
+    ablation_parser = subparsers.add_parser("ablation", help="run an ablation study")
+    ablation_parser.add_argument("name", choices=["assignment", "aggregator"])
+
+    distortion_parser = subparsers.add_parser(
+        "distortion", help="distortion table for a custom assignment"
+    )
+    distortion_parser.add_argument("--scheme", default="mols", choices=available_schemes())
+    distortion_parser.add_argument("--load", type=int, default=5)
+    distortion_parser.add_argument("--replication", type=int, default=3)
+    distortion_parser.add_argument("--num-workers", type=int, default=None)
+    distortion_parser.add_argument("--num-files", type=int, default=None)
+    distortion_parser.add_argument("--m", type=int, default=None)
+    distortion_parser.add_argument("--s", type=int, default=None)
+    distortion_parser.add_argument("--q", type=int, nargs="+", required=True)
+    distortion_parser.add_argument(
+        "--method", default="auto", choices=["auto", "exhaustive", "greedy", "local_search"]
+    )
+    return parser
+
+
+def _emit(rows: list[dict[str, float]], title: str, csv_path: pathlib.Path | None) -> str:
+    text = format_rows(rows, title=title)
+    if csv_path is not None:
+        csv_path.write_text(rows_to_csv(rows))
+    return text
+
+
+def _run_list() -> str:
+    lines = ["Distortion tables:"]
+    for name, config in TABLE_CONFIGS.items():
+        lines.append(f"  {name}: {config}")
+    lines.append("")
+    lines.append("Figures:")
+    for name, description in FIGURE_DESCRIPTIONS.items():
+        lines.append(f"  {name}: {description}")
+    return "\n".join(lines)
+
+
+def _run_table(args: argparse.Namespace) -> str:
+    generator = _TABLE_GENERATORS[args.name]
+    kwargs = {} if args.method is None else {"method": args.method}
+    rows = generator(**kwargs)
+    return _emit(rows, f"{args.name} ({TABLE_CONFIGS[args.name]})", args.csv)
+
+
+def _run_figure(args: argparse.Namespace) -> str:
+    if args.name == "fig12":
+        rows = generate_figure12()
+        return _emit(rows, FIGURE_DESCRIPTIONS["fig12"], args.csv)
+    histories = run_accuracy_figure(args.name, scale=args.scale, seed=args.seed)
+    series = {label: history.accuracy_series() for label, history in histories.items()}
+    summary = [
+        {
+            "curve": label,
+            "final_accuracy": history.final_accuracy,
+            "best_accuracy": history.best_accuracy,
+            "mean_distortion": float(history.distortion_fractions.mean()),
+        }
+        for label, history in histories.items()
+    ]
+    if args.csv is not None:
+        args.csv.write_text(rows_to_csv(summary))
+    return (
+        format_series(series, title=FIGURE_DESCRIPTIONS.get(args.name, args.name))
+        + "\n\n"
+        + format_rows(summary, title="summary")
+    )
+
+
+def _run_bounds(args: argparse.Namespace) -> str:
+    gamma_rows = bound_tightness_table()
+    claim_rows = claim2_verification_table()
+    text = format_rows(gamma_rows, title="Gamma bound tightness (MOLS l=5, r=3)")
+    text += "\n\n" + format_rows(claim_rows, title="Claim 2 exact small-q values")
+    if args.csv is not None:
+        args.csv.write_text(rows_to_csv(gamma_rows))
+    return text
+
+
+def _run_ablation(args: argparse.Namespace) -> str:
+    if args.name == "assignment":
+        rows = assignment_structure_ablation()
+        return _emit(rows, "Assignment-structure ablation", args.csv)
+    rows = aggregator_ablation()
+    return _emit(rows, "Post-vote aggregator ablation", args.csv)
+
+
+def _run_distortion(args: argparse.Namespace) -> str:
+    kwargs: dict[str, object] = {}
+    if args.scheme == "mols":
+        kwargs = {"load": args.load, "replication": args.replication}
+    elif args.scheme == "ramanujan":
+        kwargs = {"m": args.m or args.replication, "s": args.s or args.load}
+    elif args.scheme == "frc":
+        kwargs = {
+            "num_workers": args.num_workers or args.load * args.replication,
+            "replication": args.replication,
+        }
+    elif args.scheme == "baseline":
+        kwargs = {"num_workers": args.num_workers or args.load * args.replication}
+    elif args.scheme == "random":
+        kwargs = {
+            "num_workers": args.num_workers or args.load * args.replication,
+            "num_files": args.num_files or args.load * args.load,
+            "replication": args.replication,
+        }
+    scheme = create_scheme(args.scheme, **kwargs)
+    rows = distortion_comparison_table(scheme.assignment, args.q, method=args.method)
+    return _emit(rows, f"distortion for {scheme.assignment.name}", args.csv)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            output = _run_list()
+        elif args.command == "table":
+            output = _run_table(args)
+        elif args.command == "figure":
+            output = _run_figure(args)
+        elif args.command == "bounds":
+            output = _run_bounds(args)
+        elif args.command == "ablation":
+            output = _run_ablation(args)
+        elif args.command == "distortion":
+            output = _run_distortion(args)
+        else:  # pragma: no cover - argparse enforces choices
+            parser.error(f"unknown command {args.command!r}")
+            return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

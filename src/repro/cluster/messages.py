@@ -1,0 +1,67 @@
+"""Message types exchanged between workers and the parameter server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GradientMessage", "RoundResult"]
+
+
+@dataclass(frozen=True)
+class GradientMessage:
+    """One worker's return for one file (paper notation ``ĝ^{(j)}_{t,i}``).
+
+    Attributes
+    ----------
+    worker:
+        Sender worker index ``j``.
+    file:
+        File index ``i`` this gradient claims to correspond to.
+    gradient:
+        The returned vector (honest gradient or adversarial payload).
+    is_byzantine:
+        Bookkeeping flag recorded by the simulator (the PS never sees it);
+        used by tests and diagnostics only.
+    """
+
+    worker: int
+    file: int
+    gradient: np.ndarray
+    is_byzantine: bool = False
+
+
+@dataclass
+class RoundResult:
+    """Everything produced by one simulated training round.
+
+    Attributes
+    ----------
+    file_votes:
+        ``{file: {worker: gradient}}`` — the PS-side view of the returns.
+    honest_file_gradients:
+        The true per-file gradients (ground truth for analysis).
+    byzantine_workers:
+        The compromised workers of this round.
+    distorted_files:
+        Files whose majority vote is corrupted this round (those where at
+        least ``r'`` copies were Byzantine).
+    messages:
+        Flat list of all gradient messages (with bookkeeping flags).
+    mean_file_loss:
+        Average training loss over the files of the round's batch.
+    """
+
+    file_votes: dict[int, dict[int, np.ndarray]]
+    honest_file_gradients: dict[int, np.ndarray]
+    byzantine_workers: tuple[int, ...]
+    distorted_files: tuple[int, ...]
+    messages: list[GradientMessage] = field(default_factory=list)
+    mean_file_loss: float = float("nan")
+
+    @property
+    def distortion_fraction(self) -> float:
+        """Realized ``ε̂`` of the round (corrupted files / total files)."""
+        total = len(self.file_votes)
+        return len(self.distorted_files) / total if total else 0.0

@@ -1,0 +1,73 @@
+"""The parameter server: aggregation pipeline + optimizer step.
+
+The PS owns the global model parameters, feeds each round's returns through
+its aggregation pipeline (ByzShield, DETOX, DRACO or a vanilla robust rule)
+and applies an SGD step with the configured learning-rate schedule (paper
+Algorithm 1, lines 14–17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipelines import AggregationPipeline, FileVotes
+from repro.exceptions import TrainingError
+from repro.nn.optim import SGD
+
+__all__ = ["ParameterServer"]
+
+
+class ParameterServer:
+    """Holds the global parameter vector and performs model updates.
+
+    Parameters
+    ----------
+    initial_params:
+        The initial flat parameter vector ``w₀``.
+    pipeline:
+        Aggregation pipeline turning a round's returns into one gradient.
+    optimizer:
+        Flat-vector SGD optimizer (learning-rate schedule + momentum).
+    """
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        pipeline: AggregationPipeline,
+        optimizer: SGD,
+    ) -> None:
+        params = np.asarray(initial_params, dtype=np.float64).ravel()
+        if params.size == 0:
+            raise TrainingError("initial parameter vector is empty")
+        self._params = params.copy()
+        self.pipeline = pipeline
+        self.optimizer = optimizer
+        self.iteration = 0
+
+    @property
+    def params(self) -> np.ndarray:
+        """Copy of the current global parameters ``w_t``."""
+        return self._params.copy()
+
+    def broadcast(self) -> np.ndarray:
+        """Parameters sent to the workers at the start of an iteration."""
+        return self.params
+
+    def aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        """Run the aggregation pipeline without updating the model."""
+        return self.pipeline.aggregate(file_votes)
+
+    def update(self, file_votes: FileVotes) -> np.ndarray:
+        """Aggregate the returns and take one optimizer step.
+
+        Returns the aggregated gradient used for the update.
+        """
+        gradient = self.aggregate(file_votes)
+        if gradient.shape != self._params.shape:
+            raise TrainingError(
+                f"aggregated gradient has shape {gradient.shape}, expected "
+                f"{self._params.shape}"
+            )
+        self._params = self.optimizer.step_vector(self._params, gradient)
+        self.iteration += 1
+        return gradient

@@ -1,0 +1,125 @@
+"""One-round cluster simulation: honest compute, attack injection, PS view.
+
+:class:`TrainingCluster` binds together the assignment graph, the worker pool,
+the Byzantine selector and the attack, and produces for each round the
+``file_votes`` structure the parameter server aggregates, along with ground
+truth needed by the experiments (true gradients, realized distortion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.selection import ByzantineSelector
+from repro.cluster.messages import GradientMessage, RoundResult
+from repro.cluster.worker import WorkerPool
+from repro.core.distortion import distorted_files
+from repro.exceptions import TrainingError
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = ["TrainingCluster"]
+
+
+class TrainingCluster:
+    """Simulates the worker side of one synchronous training iteration.
+
+    Parameters
+    ----------
+    assignment:
+        Worker/file assignment graph.
+    worker_pool:
+        Gradient-computing worker pool (must use the same assignment).
+    attack:
+        The Byzantine payload generator; ``None`` disables the attack.
+    selector:
+        Policy choosing which workers are Byzantine each round; ``None``
+        means no Byzantine workers.
+    seed:
+        Base seed for per-round randomness (attack noise, random selection).
+    """
+
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        worker_pool: WorkerPool,
+        attack: Attack | None = None,
+        selector: ByzantineSelector | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if worker_pool.assignment is not assignment and worker_pool.assignment != assignment:
+            raise TrainingError("worker pool and cluster use different assignments")
+        if (attack is None) != (selector is None):
+            raise TrainingError(
+                "attack and selector must both be provided or both omitted"
+            )
+        self.assignment = assignment
+        self.worker_pool = worker_pool
+        self.attack = attack
+        self.selector = selector
+        self._seed = seed if isinstance(seed, int) else None
+        self._rng = as_generator(seed)
+
+    def _round_rng(self, iteration: int) -> np.random.Generator:
+        if self._seed is None:
+            return self._rng
+        return as_generator(derive_seed(self._seed, "round", iteration))
+
+    def run_round(
+        self,
+        params: np.ndarray,
+        file_data: dict[int, tuple[np.ndarray, np.ndarray]],
+        iteration: int,
+    ) -> RoundResult:
+        """Simulate one iteration's worker computations and attack.
+
+        Parameters
+        ----------
+        params:
+            Model parameters broadcast by the PS at the start of the round.
+        file_data:
+            ``{file: (inputs, labels)}`` for this round's batch partition.
+        iteration:
+            Zero-based iteration index (drives per-round seeds and selectors).
+        """
+        rng = self._round_rng(iteration)
+        file_votes, honest, losses = self.worker_pool.honest_returns(params, file_data)
+
+        byzantine: tuple[int, ...] = ()
+        if self.attack is not None and self.selector is not None:
+            byzantine = tuple(
+                sorted(self.selector.select(self.assignment, iteration, rng))
+            )
+            context = AttackContext(
+                assignment=self.assignment,
+                byzantine_workers=byzantine,
+                honest_file_gradients=honest,
+                iteration=iteration,
+                rng=rng,
+            )
+            for (worker, file_index), payload in self.attack.apply(context).items():
+                file_votes[file_index][worker] = payload
+
+        messages = [
+            GradientMessage(
+                worker=worker,
+                file=file_index,
+                gradient=gradient,
+                is_byzantine=worker in byzantine,
+            )
+            for file_index, votes in file_votes.items()
+            for worker, gradient in votes.items()
+        ]
+        corrupted = tuple(
+            int(i) for i in distorted_files(self.assignment, byzantine)
+        ) if byzantine else ()
+        mean_loss = float(np.mean(list(losses.values()))) if losses else float("nan")
+        return RoundResult(
+            file_votes=file_votes,
+            honest_file_gradients=honest,
+            byzantine_workers=byzantine,
+            distorted_files=corrupted,
+            messages=messages,
+            mean_file_loss=mean_loss,
+        )

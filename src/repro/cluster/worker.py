@@ -1,0 +1,93 @@
+"""Worker-side gradient computation.
+
+In the real system every worker independently computes the gradient of each
+file it is assigned.  Honest workers assigned the same file return
+bit-identical gradients (the paper relies on this for exact-equality majority
+voting), so the simulator computes each file gradient once and hands copies to
+the assigned workers — ``shared_computation=True`` — unless a test explicitly
+asks for per-worker recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.graphs.bipartite import BipartiteAssignment
+
+__all__ = ["WorkerPool"]
+
+#: signature of the gradient oracle: (params, inputs, labels) -> (gradient, loss)
+GradientFn = Callable[[np.ndarray, np.ndarray, np.ndarray], tuple[np.ndarray, float]]
+
+
+class WorkerPool:
+    """The ``K`` simulated workers and their per-file gradient computation.
+
+    Parameters
+    ----------
+    assignment:
+        Worker/file assignment graph.
+    gradient_fn:
+        Oracle computing ``(flat gradient, loss)`` of the model on a file's
+        samples at the given parameters.
+    shared_computation:
+        Compute every file gradient once and share it among the file's
+        workers (default, exploits determinism); when False every worker
+        recomputes its own copy, which is slower but validates determinism.
+    """
+
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        gradient_fn: GradientFn,
+        shared_computation: bool = True,
+    ) -> None:
+        self.assignment = assignment
+        self.gradient_fn = gradient_fn
+        self.shared_computation = bool(shared_computation)
+
+    def compute_file_gradients(
+        self,
+        params: np.ndarray,
+        file_data: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[dict[int, np.ndarray], dict[int, float]]:
+        """True gradient and loss of every file at the given parameters."""
+        if set(file_data) != set(range(self.assignment.num_files)):
+            raise TrainingError(
+                "file_data must provide data for every file of the assignment"
+            )
+        gradients: dict[int, np.ndarray] = {}
+        losses: dict[int, float] = {}
+        for file_index in range(self.assignment.num_files):
+            inputs, labels = file_data[file_index]
+            gradient, loss = self.gradient_fn(params, inputs, labels)
+            gradients[file_index] = np.asarray(gradient, dtype=np.float64).ravel()
+            losses[file_index] = float(loss)
+        return gradients, losses
+
+    def honest_returns(
+        self,
+        params: np.ndarray,
+        file_data: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[dict[int, dict[int, np.ndarray]], dict[int, np.ndarray], dict[int, float]]:
+        """Compute what every (worker, file) pair would return if all were honest.
+
+        Returns ``(file_votes, honest_file_gradients, file_losses)`` where
+        ``file_votes[i][j]`` is worker ``j``'s copy of file ``i``'s gradient.
+        """
+        honest, losses = self.compute_file_gradients(params, file_data)
+        file_votes: dict[int, dict[int, np.ndarray]] = {}
+        for file_index in range(self.assignment.num_files):
+            votes: dict[int, np.ndarray] = {}
+            for worker in self.assignment.workers_of_file(file_index):
+                if self.shared_computation:
+                    votes[worker] = honest[file_index]
+                else:
+                    inputs, labels = file_data[file_index]
+                    gradient, _ = self.gradient_fn(params, inputs, labels)
+                    votes[worker] = np.asarray(gradient, dtype=np.float64).ravel()
+            file_votes[file_index] = votes
+        return file_votes, honest, losses

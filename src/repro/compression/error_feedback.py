@@ -1,0 +1,54 @@
+"""Error feedback (residual accumulation) for biased compressors.
+
+Biased compressors such as sign quantization and top-k sparsification are
+known to stall SGD unless the compression error is fed back into the next
+message (Karimireddy et al.'s EF-SGD).  :class:`ErrorFeedback` wraps any
+:class:`~repro.compression.compressors.Compressor` with a per-sender residual
+buffer: the sender compresses ``gradient + residual`` and keeps whatever the
+compressor dropped for the next round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.compressors import CompressedGradient, Compressor
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ErrorFeedback"]
+
+
+class ErrorFeedback:
+    """Residual-accumulating wrapper around a compressor.
+
+    Parameters
+    ----------
+    compressor:
+        The underlying (typically biased) compression operator.
+    """
+
+    def __init__(self, compressor: Compressor) -> None:
+        if not isinstance(compressor, Compressor):
+            raise ConfigurationError("ErrorFeedback wraps a Compressor instance")
+        self.compressor = compressor
+        self._residuals: dict[object, np.ndarray] = {}
+
+    def reset(self) -> None:
+        """Drop all accumulated residuals."""
+        self._residuals.clear()
+
+    def residual(self, sender: object) -> np.ndarray | None:
+        """Current residual buffer of ``sender`` (None before the first call)."""
+        value = self._residuals.get(sender)
+        return None if value is None else value.copy()
+
+    def compress(self, sender: object, gradient: np.ndarray) -> CompressedGradient:
+        """Compress ``gradient`` on behalf of ``sender`` with error feedback."""
+        gradient = np.asarray(gradient, dtype=np.float64).ravel()
+        residual = self._residuals.get(sender)
+        if residual is None or residual.shape != gradient.shape:
+            residual = np.zeros_like(gradient)
+        corrected = gradient + residual
+        compressed = self.compressor(corrected)
+        self._residuals[sender] = corrected - compressed.vector
+        return compressed

@@ -1,0 +1,50 @@
+"""Core ByzShield logic: distortion analysis and robust training pipelines.
+
+* :mod:`repro.core.distortion` — how many file gradients an omniscient
+  adversary controlling ``q`` workers can corrupt (``c_max``, ``ε̂``, the
+  ``γ`` bound and the paper's comparison tables).
+* :mod:`repro.core.pipelines` — the gradient-aggregation pipelines evaluated
+  in the paper: ByzShield (vote + coordinate-wise median), DETOX (vote +
+  hierarchical robust aggregation), DRACO (vote with exact-recovery
+  requirement) and the plain robust-aggregation baseline.
+"""
+
+from repro.core.distortion import (
+    DistortionResult,
+    majority_threshold,
+    distorted_files,
+    count_distorted,
+    epsilon_hat,
+    max_distortion,
+    max_distortion_exhaustive,
+    max_distortion_greedy,
+    max_distortion_local_search,
+    claim2_exact_c_max,
+    distortion_comparison_table,
+)
+from repro.core.pipelines import (
+    AggregationPipeline,
+    ByzShieldPipeline,
+    DetoxPipeline,
+    DracoPipeline,
+    VanillaPipeline,
+)
+
+__all__ = [
+    "DistortionResult",
+    "majority_threshold",
+    "distorted_files",
+    "count_distorted",
+    "epsilon_hat",
+    "max_distortion",
+    "max_distortion_exhaustive",
+    "max_distortion_greedy",
+    "max_distortion_local_search",
+    "claim2_exact_c_max",
+    "distortion_comparison_table",
+    "AggregationPipeline",
+    "ByzShieldPipeline",
+    "DetoxPipeline",
+    "DracoPipeline",
+    "VanillaPipeline",
+]

@@ -1,0 +1,275 @@
+"""Gradient-aggregation pipelines evaluated in the paper.
+
+A *pipeline* turns the raw per-(worker, file) gradients returned to the PS in
+one iteration into the single gradient used for the model update.  The
+returned gradients are represented as ``file_votes``: a mapping
+``{file_index: {worker_index: gradient}}`` containing exactly the copies the
+assignment graph prescribes.
+
+Pipelines implemented:
+
+* :class:`ByzShieldPipeline` — Algorithm 1: per-file majority vote followed by
+  a robust aggregator (coordinate-wise median by default) over the ``f``
+  winning gradients.
+* :class:`DetoxPipeline` — FRC grouping with per-group majority vote followed
+  by a second-stage robust aggregation (median-of-means, Multi-Krum, signSGD,
+  ...) over the group winners.
+* :class:`DracoPipeline` — FRC grouping with the DRACO exact-recovery
+  requirement ``r >= 2q + 1``; refuses to run when the bound is violated and
+  otherwise averages the group majority winners.
+* :class:`VanillaPipeline` — no redundancy: the robust aggregator is applied
+  directly to the ``K`` worker gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator
+from repro.aggregation.majority import MajorityVote
+from repro.aggregation.mean import MeanAggregator
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.exceptions import AggregationError, ConfigurationError
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.utils.arrays import stack_vectors
+
+__all__ = [
+    "FileVotes",
+    "AggregationPipeline",
+    "ByzShieldPipeline",
+    "DetoxPipeline",
+    "DracoPipeline",
+    "VanillaPipeline",
+]
+
+#: type alias for the per-iteration returns: file index -> worker index -> gradient
+FileVotes = Mapping[int, Mapping[int, np.ndarray]]
+
+
+def _validate_file_votes(assignment: BipartiteAssignment, file_votes: FileVotes) -> None:
+    """Check the votes cover every file with exactly its assigned workers."""
+    if len(file_votes) != assignment.num_files:
+        raise AggregationError(
+            f"expected votes for {assignment.num_files} files, got {len(file_votes)}"
+        )
+    for file_index, votes in file_votes.items():
+        expected = set(assignment.workers_of_file(int(file_index)))
+        got = set(int(w) for w in votes)
+        if expected != got:
+            raise AggregationError(
+                f"file {file_index}: votes came from workers {sorted(got)} but the "
+                f"assignment expects {sorted(expected)}"
+            )
+
+
+class AggregationPipeline:
+    """Base class: defines the pipeline interface and shared vote handling.
+
+    Parameters
+    ----------
+    assignment:
+        Worker/file assignment graph the votes must conform to.
+    validate:
+        Whether :meth:`aggregate` verifies that the votes match the
+        assignment (disable in tight loops once the driver is trusted).
+    """
+
+    pipeline_name = "abstract"
+
+    def __init__(self, assignment: BipartiteAssignment, validate: bool = True) -> None:
+        self.assignment = assignment
+        self.validate = bool(validate)
+
+    # -- interface -------------------------------------------------------------
+    def aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        """Aggregate one iteration's returned gradients into an update direction."""
+        if self.validate:
+            _validate_file_votes(self.assignment, file_votes)
+        return self._aggregate(file_votes)
+
+    def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------------
+    def _voted_file_gradients(
+        self, file_votes: FileVotes, voter: MajorityVote
+    ) -> np.ndarray:
+        """Majority-vote every file and stack the winners into an ``(f, d)`` matrix."""
+        winners = []
+        for file_index in range(self.assignment.num_files):
+            votes = file_votes[file_index]
+            ordered = [votes[w] for w in sorted(votes)]
+            winners.append(voter(ordered))
+        return stack_vectors(winners)
+
+    def describe(self) -> dict[str, str]:
+        """Short description used in experiment reports."""
+        return {
+            "pipeline": self.pipeline_name,
+            "assignment": self.assignment.name,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(assignment={self.assignment.name!r})"
+
+
+class ByzShieldPipeline(AggregationPipeline):
+    """Paper Algorithm 1: per-file majority vote + robust aggregation.
+
+    Parameters
+    ----------
+    assignment:
+        Any redundant assignment (MOLS, Ramanujan, ...); replication must be
+        odd so the majority cannot tie.
+    aggregator:
+        Robust rule applied to the ``f`` voted gradients; the paper uses
+        coordinate-wise median, but Bulyan / Multi-Krum are supported too.
+    vote_tolerance:
+        Tolerance forwarded to :class:`MajorityVote` (0 = exact equality).
+    """
+
+    pipeline_name = "byzshield"
+
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        aggregator: Aggregator | None = None,
+        vote_tolerance: float = 0.0,
+        validate: bool = True,
+    ) -> None:
+        super().__init__(assignment, validate=validate)
+        if assignment.replication % 2 == 0:
+            raise ConfigurationError(
+                "ByzShield majority voting requires an odd replication factor, "
+                f"got r={assignment.replication}"
+            )
+        self.aggregator = aggregator if aggregator is not None else CoordinateWiseMedian()
+        self.voter = MajorityVote(tolerance=vote_tolerance)
+
+    def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        voted = self._voted_file_gradients(file_votes, self.voter)
+        return self.aggregator(voted)
+
+    def voted_gradients(self, file_votes: FileVotes) -> np.ndarray:
+        """Expose the post-vote ``(f, d)`` matrix (useful for analysis/tests)."""
+        if self.validate:
+            _validate_file_votes(self.assignment, file_votes)
+        return self._voted_file_gradients(file_votes, self.voter)
+
+
+class DetoxPipeline(AggregationPipeline):
+    """DETOX: FRC grouping, per-group vote, then hierarchical robust aggregation.
+
+    Parameters
+    ----------
+    assignment:
+        An FRC assignment (each worker holds exactly one file and each file is
+        held by one group of ``r`` workers).
+    aggregator:
+        Second-stage robust rule over the group winners (median-of-means in
+        the paper's "DETOX-MoM", Multi-Krum in "DETOX-Multi-Krum", ...).
+    """
+
+    pipeline_name = "detox"
+
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        aggregator: Aggregator | None = None,
+        vote_tolerance: float = 0.0,
+        validate: bool = True,
+    ) -> None:
+        super().__init__(assignment, validate=validate)
+        if assignment.computational_load != 1:
+            raise ConfigurationError(
+                "DETOX expects an FRC assignment where every worker holds exactly "
+                f"one file; got load={assignment.computational_load}"
+            )
+        if assignment.replication % 2 == 0:
+            raise ConfigurationError(
+                f"DETOX majority voting requires odd group size, got r={assignment.replication}"
+            )
+        self.aggregator = aggregator if aggregator is not None else CoordinateWiseMedian()
+        self.voter = MajorityVote(tolerance=vote_tolerance)
+
+    def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        voted = self._voted_file_gradients(file_votes, self.voter)
+        return self.aggregator(voted)
+
+
+class DracoPipeline(AggregationPipeline):
+    """DRACO: FRC grouping with the information-theoretic ``r >= 2q + 1`` bound.
+
+    DRACO guarantees *exact* recovery (the output equals the attack-free
+    gradient) but only when every group has an honest majority of at least
+    ``q + 1``, i.e. ``r >= 2q + 1``.  :meth:`aggregate` raises when the
+    declared Byzantine budget violates the bound, reproducing the paper's
+    observation that DRACO "is not applicable if it is violated".
+    """
+
+    pipeline_name = "draco"
+
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        num_byzantine: int,
+        vote_tolerance: float = 0.0,
+        validate: bool = True,
+    ) -> None:
+        super().__init__(assignment, validate=validate)
+        if assignment.computational_load != 1:
+            raise ConfigurationError(
+                "DRACO expects an FRC assignment (one file per worker); got load="
+                f"{assignment.computational_load}"
+            )
+        if num_byzantine < 0:
+            raise ConfigurationError(
+                f"num_byzantine must be non-negative, got {num_byzantine}"
+            )
+        self.num_byzantine = int(num_byzantine)
+        self.voter = MajorityVote(tolerance=vote_tolerance)
+        self._mean = MeanAggregator()
+
+    @property
+    def is_applicable(self) -> bool:
+        """True when ``r >= 2q + 1`` so exact recovery is guaranteed."""
+        return self.assignment.replication >= 2 * self.num_byzantine + 1
+
+    def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        if not self.is_applicable:
+            raise AggregationError(
+                f"DRACO requires r >= 2q+1 (r={self.assignment.replication}, "
+                f"q={self.num_byzantine}); the scheme is not applicable"
+            )
+        voted = self._voted_file_gradients(file_votes, self.voter)
+        return self._mean(voted)
+
+
+class VanillaPipeline(AggregationPipeline):
+    """No redundancy: the robust aggregator sees the ``K`` raw worker gradients."""
+
+    pipeline_name = "vanilla"
+
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        aggregator: Aggregator,
+        validate: bool = True,
+    ) -> None:
+        super().__init__(assignment, validate=validate)
+        if assignment.replication != 1 or assignment.computational_load != 1:
+            raise ConfigurationError(
+                "VanillaPipeline expects the baseline assignment with l = r = 1"
+            )
+        self.aggregator = aggregator
+
+    def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        gradients = []
+        for file_index in range(self.assignment.num_files):
+            votes = file_votes[file_index]
+            (worker,) = votes.keys()
+            gradients.append(votes[worker])
+        return self.aggregator(stack_vectors(gradients))

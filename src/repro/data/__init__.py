@@ -1,0 +1,25 @@
+"""Datasets and batching.
+
+The paper trains on CIFAR-10; offline we substitute deterministic synthetic
+datasets (see DESIGN.md) that exercise the same code path: mini-batch
+sampling, splitting every batch into ``f`` equally sized files, per-file
+gradient computation and aggregation.
+"""
+
+from repro.data.datasets import Dataset, train_test_split
+from repro.data.synthetic import (
+    make_synthetic_images,
+    make_gaussian_mixture,
+    make_spirals,
+)
+from repro.data.batching import BatchSampler, partition_batch_into_files
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "make_synthetic_images",
+    "make_gaussian_mixture",
+    "make_spirals",
+    "BatchSampler",
+    "partition_batch_into_files",
+]

@@ -1,0 +1,97 @@
+"""Batch sampling and batch-to-file partitioning (paper Section 2).
+
+Every training iteration draws a batch ``B_t`` of ``b`` samples and splits it
+into ``f`` disjoint files ``B_{t,0}, ..., B_{t,f-1}`` of ``b/f`` samples each;
+the files are the unit of assignment, gradient computation and majority
+voting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.exceptions import DataError
+from repro.utils.rng import as_generator
+
+__all__ = ["BatchSampler", "partition_batch_into_files"]
+
+
+def partition_batch_into_files(batch_indices: np.ndarray, num_files: int) -> list[np.ndarray]:
+    """Split a batch's sample indices into ``num_files`` equal disjoint files.
+
+    Raises
+    ------
+    DataError
+        If the batch size is not divisible by ``num_files`` (the paper always
+        picks ``b`` as a multiple of ``f``).
+    """
+    batch_indices = np.asarray(batch_indices, dtype=np.int64)
+    if num_files < 1:
+        raise DataError(f"num_files must be positive, got {num_files}")
+    if batch_indices.size % num_files != 0:
+        raise DataError(
+            f"batch size {batch_indices.size} is not divisible by f={num_files}"
+        )
+    per_file = batch_indices.size // num_files
+    return [
+        batch_indices[i * per_file : (i + 1) * per_file] for i in range(num_files)
+    ]
+
+
+@dataclass
+class BatchSampler:
+    """Samples batches of indices from a dataset, deterministically per seed.
+
+    Parameters
+    ----------
+    dataset:
+        The training dataset.
+    batch_size:
+        Batch size ``b``; must not exceed the dataset size.
+    seed:
+        Seed controlling the batch sequence.
+    with_replacement:
+        If True every batch is an independent uniform draw; otherwise the
+        sampler cycles through epoch permutations (classic SGD epochs).
+    """
+
+    dataset: Dataset
+    batch_size: int
+    seed: int | np.random.Generator | None = 0
+    with_replacement: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise DataError(f"batch_size must be positive, got {self.batch_size}")
+        if self.batch_size > self.dataset.num_samples:
+            raise DataError(
+                f"batch_size {self.batch_size} exceeds dataset size "
+                f"{self.dataset.num_samples}"
+            )
+        self._rng = as_generator(self.seed)
+        self._permutation = self._rng.permutation(self.dataset.num_samples)
+        self._cursor = 0
+
+    def next_batch(self) -> np.ndarray:
+        """Indices of the next batch ``B_t``."""
+        n = self.dataset.num_samples
+        if self.with_replacement:
+            return self._rng.integers(0, n, size=self.batch_size)
+        if self._cursor + self.batch_size > n:
+            self._permutation = self._rng.permutation(n)
+            self._cursor = 0
+        batch = self._permutation[self._cursor : self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return batch.copy()
+
+    def next_batch_files(self, num_files: int) -> list[np.ndarray]:
+        """Next batch already partitioned into ``num_files`` files."""
+        return partition_batch_into_files(self.next_batch(), num_files)
+
+    def batch_data(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize ``(inputs, labels)`` for a set of sample indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.dataset.inputs[indices], self.dataset.labels[indices]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ByzShield reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of the package with a single ``except`` clause
+while still being able to discriminate configuration problems from runtime
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A scheme / pipeline / trainer was constructed with invalid parameters.
+
+    Examples include a replication factor that is even (majority voting needs
+    an odd ``r``), a MOLS degree that is not prime, or a Byzantine count that
+    exceeds the number of workers.
+    """
+
+
+class AssignmentError(ReproError):
+    """The worker-to-file assignment graph violates a structural invariant."""
+
+
+class AggregationError(ReproError):
+    """A robust aggregator cannot produce an output for the given votes.
+
+    Raised for instance when Bulyan or Multi-Krum receive fewer candidate
+    gradients than their breakdown-point formulas require.
+    """
+
+
+class AttackError(ReproError):
+    """An adversary was asked to do something inconsistent with its model."""
+
+
+class TrainingError(ReproError):
+    """The distributed training loop reached an unrecoverable state."""
+
+
+class DataError(ReproError):
+    """A dataset or batch request was malformed."""

@@ -1,0 +1,23 @@
+"""Finite-field arithmetic and Latin-square combinatorics.
+
+These are the combinatorial building blocks of ByzShield's MOLS task
+assignment (paper Section 4.1): a prime field :class:`PrimeField`, Latin
+squares built from the linear maps ``L_alpha(i, j) = alpha * i + j`` over that
+field, and families of mutually orthogonal Latin squares (MOLS).
+"""
+
+from repro.fields.prime_field import PrimeField
+from repro.fields.latin_squares import (
+    LatinSquare,
+    are_orthogonal,
+    mols_family,
+    is_latin_square,
+)
+
+__all__ = [
+    "PrimeField",
+    "LatinSquare",
+    "are_orthogonal",
+    "mols_family",
+    "is_latin_square",
+]

@@ -1,0 +1,134 @@
+"""Arithmetic in the prime field GF(p).
+
+The MOLS construction of the paper (Section 4.1.1) requires a finite field of
+size ``l``.  The standard construction ``L_alpha(i, j) = alpha*i + j`` works
+over any finite field; this module implements prime fields, which cover every
+configuration used in the paper's evaluation (``l`` = 5 and 7) and any other
+prime computational load.  Elements are represented as integers in
+``[0, p)`` and operations are vectorized over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_prime
+
+__all__ = ["PrimeField"]
+
+
+class PrimeField:
+    """The finite field GF(p) for a prime ``p``.
+
+    All operations accept Python ints or numpy integer arrays and return
+    values reduced modulo ``p``.
+
+    Parameters
+    ----------
+    p:
+        A prime number; validated at construction.
+    """
+
+    def __init__(self, p: int) -> None:
+        self.p = check_prime(p, "field order p")
+
+    # -- basic operations -------------------------------------------------
+    def element(self, value: int | np.ndarray) -> np.ndarray | int:
+        """Reduce ``value`` into the canonical range [0, p)."""
+        return np.mod(value, self.p)
+
+    def add(self, a, b):
+        """Field addition a + b (mod p)."""
+        return np.mod(np.add(a, b), self.p)
+
+    def sub(self, a, b):
+        """Field subtraction a - b (mod p)."""
+        return np.mod(np.subtract(a, b), self.p)
+
+    def mul(self, a, b):
+        """Field multiplication a * b (mod p)."""
+        return np.mod(np.multiply(a, b), self.p)
+
+    def neg(self, a):
+        """Additive inverse -a (mod p)."""
+        return np.mod(np.negative(a), self.p)
+
+    def pow(self, a, exponent: int):
+        """Field exponentiation a ** exponent (mod p) for scalar base."""
+        if np.ndim(a) == 0:
+            return pow(int(a) % self.p, int(exponent), self.p)
+        result = np.ones_like(np.asarray(a))
+        base = np.mod(np.asarray(a), self.p)
+        e = int(exponent)
+        if e < 0:
+            base = self.inv(base)
+            e = -e
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inv(self, a):
+        """Multiplicative inverse a**(-1) (mod p); errors on zero."""
+        arr = np.asarray(a)
+        if np.any(np.mod(arr, self.p) == 0):
+            raise ZeroDivisionError("zero has no multiplicative inverse in GF(p)")
+        if arr.ndim == 0:
+            return pow(int(arr) % self.p, self.p - 2, self.p)
+        flat = np.array(
+            [pow(int(x) % self.p, self.p - 2, self.p) for x in arr.ravel()],
+            dtype=arr.dtype,
+        )
+        return flat.reshape(arr.shape)
+
+    def div(self, a, b):
+        """Field division a / b (mod p)."""
+        return self.mul(a, self.inv(b))
+
+    # -- linear algebra over GF(p) ----------------------------------------
+    def solve_linear_2x2(
+        self, a: int, b: int, c: int, d: int, s: int, t: int
+    ) -> tuple[int, int]:
+        """Solve ``a*i + b*j = s``, ``c*i + d*j = t`` over GF(p).
+
+        Used to prove / test MOLS orthogonality: for the Latin squares
+        ``L_alpha`` and ``L_beta`` (``alpha != beta``) the system has a unique
+        solution, which is the unique common cell holding the symbol pair.
+
+        Raises
+        ------
+        ConfigurationError
+            If the determinant ``a*d - b*c`` is zero in GF(p).
+        """
+        det = self.sub(self.mul(a, d), self.mul(b, c))
+        if int(det) % self.p == 0:
+            raise ConfigurationError(
+                "singular 2x2 system over GF(p): determinant is zero"
+            )
+        det_inv = self.inv(det)
+        i = self.mul(det_inv, self.sub(self.mul(d, s), self.mul(b, t)))
+        j = self.mul(det_inv, self.sub(self.mul(a, t), self.mul(c, s)))
+        return int(i), int(j)
+
+    def elements(self) -> np.ndarray:
+        """Return all field elements ``[0, 1, ..., p-1]``."""
+        return np.arange(self.p, dtype=np.int64)
+
+    # -- dunder -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self.p
+
+    def __contains__(self, value: int) -> bool:
+        return 0 <= int(value) < self.p
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PrimeField(p={self.p})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))

@@ -1,0 +1,41 @@
+"""Bipartite assignment graphs, spectra and expansion bounds.
+
+The worker-to-file assignment of ByzShield is a biregular bipartite graph
+``G = (U ∪ F, E)`` with ``K`` workers on the left and ``f`` files on the
+right.  This package provides the graph data structure
+(:class:`BipartiteAssignment`), spectral analysis of the normalized
+bi-adjacency matrix (paper Section 3) and the expansion-based distortion
+bounds of Lemma 1 / Claim 1 (paper Section 5.1).
+"""
+
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.graphs.spectral import (
+    normalized_biadjacency,
+    gram_spectrum,
+    second_eigenvalue,
+    spectral_gap,
+    theoretical_mols_spectrum,
+    theoretical_ramanujan_case2_spectrum,
+)
+from repro.graphs.expansion import (
+    neighborhood_lower_bound,
+    gamma_upper_bound,
+    distortion_fraction_upper_bound,
+    mols_epsilon_upper_bound,
+    ramanujan_case2_epsilon_upper_bound,
+)
+
+__all__ = [
+    "BipartiteAssignment",
+    "normalized_biadjacency",
+    "gram_spectrum",
+    "second_eigenvalue",
+    "spectral_gap",
+    "theoretical_mols_spectrum",
+    "theoretical_ramanujan_case2_spectrum",
+    "neighborhood_lower_bound",
+    "gamma_upper_bound",
+    "distortion_fraction_upper_bound",
+    "mols_epsilon_upper_bound",
+    "ramanujan_case2_epsilon_upper_bound",
+]

@@ -1,0 +1,55 @@
+"""A small, from-scratch neural-network library on numpy.
+
+This substrate replaces PyTorch in the reproduction (see DESIGN.md): it
+provides layers with explicit forward/backward passes, losses, models with
+flat parameter/gradient views (what the distributed simulator exchanges),
+an SGD-with-momentum optimizer and the learning-rate schedules used in the
+paper's appendix.
+"""
+
+from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    ReLU,
+    Tanh,
+    Flatten,
+    Dropout,
+    BatchNorm,
+    Conv2D,
+    MaxPool2D,
+    ResidualDenseBlock,
+)
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, MeanSquaredError
+from repro.nn.models import Sequential, build_mlp, build_cnn, build_resnet_lite
+from repro.nn.optim import SGD, LearningRateSchedule, StepDecaySchedule, ConstantSchedule
+from repro.nn.metrics import top1_accuracy, cross_entropy_loss
+
+__all__ = [
+    "glorot_uniform",
+    "he_normal",
+    "zeros_init",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Conv2D",
+    "MaxPool2D",
+    "ResidualDenseBlock",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Sequential",
+    "build_mlp",
+    "build_cnn",
+    "build_resnet_lite",
+    "SGD",
+    "LearningRateSchedule",
+    "StepDecaySchedule",
+    "ConstantSchedule",
+    "top1_accuracy",
+    "cross_entropy_loss",
+]

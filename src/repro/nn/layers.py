@@ -1,0 +1,551 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Every layer stores its learnable parameters in ``self.params`` and the
+gradients of the last backward pass in ``self.grads`` (same keys).  The
+forward pass caches whatever the backward pass needs; layers are therefore
+stateful within one forward/backward round trip, exactly as a worker uses
+them when computing its file gradients.
+
+Array layout conventions:
+
+* dense inputs: ``(batch, features)``;
+* convolutional inputs: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Conv2D",
+    "MaxPool2D",
+    "ResidualDenseBlock",
+]
+
+
+class Layer(abc.ABC):
+    """Base class: a differentiable transformation with optional parameters."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dL/d(output)`` and return ``dL/d(input)``.
+
+        Parameter gradients are accumulated into ``self.grads``.
+        """
+
+    # -- parameter plumbing ------------------------------------------------
+    def parameter_items(self) -> list[tuple[str, np.ndarray]]:
+        """Deterministically ordered ``(name, array)`` pairs of learnable params."""
+        return [(k, self.params[k]) for k in sorted(self.params)]
+
+    def gradient_items(self) -> list[tuple[str, np.ndarray]]:
+        """Gradients in the same order as :meth:`parameter_items`."""
+        return [(k, self.grads[k]) for k in sorted(self.params)]
+
+    def zero_grads(self) -> None:
+        """Reset all parameter gradients to zero arrays of the right shape."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(params={self.num_parameters()})"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    rng:
+        Seed or generator for the He-normal weight initialization.
+    use_bias:
+        Include the additive bias term (default True).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: int | np.random.Generator | None = 0,
+        use_bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("Dense layer widths must be positive")
+        generator = as_generator(rng)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.use_bias = bool(use_bias)
+        self.params["W"] = he_normal((in_features, out_features), generator, fan_in=in_features)
+        if use_bias:
+            self.params["b"] = zeros_init((out_features,))
+        self.zero_grads()
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ConfigurationError(
+                f"Dense expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        out = x @ self.params["W"]
+        if self.use_bias:
+            out = out + self.params["b"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ConfigurationError("backward called before forward on Dense layer")
+        x = self._input
+        self.grads["W"] = x.T @ grad_output
+        if self.use_bias:
+            self.grads["b"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["W"].T
+
+
+class ReLU(Layer):
+    """Rectified linear unit ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ConfigurationError("backward called before forward on ReLU layer")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ConfigurationError("backward called before forward on Tanh layer")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Flatten(Layer):
+    """Reshape ``(batch, ...)`` inputs to ``(batch, features)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ConfigurationError("backward called before forward on Flatten layer")
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time.
+
+    Parameters
+    ----------
+    rate:
+        Probability of dropping a unit, in [0, 1).
+    rng:
+        Seed or generator for the dropout masks.
+    """
+
+    def __init__(self, rate: float, rng: int | np.random.Generator | None = 0) -> None:
+        super().__init__()
+        if not (0.0 <= rate < 1.0):
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = as_generator(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature axis.
+
+    Supports dense inputs ``(batch, features)`` and convolutional inputs
+    ``(batch, channels, H, W)``; in the latter case statistics are computed
+    per channel.  Running statistics are kept for evaluation mode.
+
+    Parameters
+    ----------
+    num_features:
+        Feature (or channel) count.
+    momentum:
+        Running-statistics update coefficient.
+    epsilon:
+        Numerical stabilizer added to the variance.
+    """
+
+    def __init__(
+        self, num_features: int, momentum: float = 0.9, epsilon: float = 1e-5
+    ) -> None:
+        super().__init__()
+        if num_features < 1:
+            raise ConfigurationError("num_features must be positive")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.params["gamma"] = np.ones(num_features, dtype=np.float64)
+        self.params["beta"] = np.zeros(num_features, dtype=np.float64)
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self.zero_grads()
+        self._cache: tuple | None = None
+
+    @staticmethod
+    def _to_2d(x: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+        if x.ndim == 2:
+            return x, x.shape
+        if x.ndim == 4:
+            batch, channels, height, width = x.shape
+            flat = x.transpose(0, 2, 3, 1).reshape(-1, channels)
+            return flat, x.shape
+        raise ConfigurationError(f"BatchNorm supports 2-D or 4-D inputs, got ndim={x.ndim}")
+
+    @staticmethod
+    def _from_2d(flat: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        if len(shape) == 2:
+            return flat
+        batch, channels, height, width = shape
+        return flat.reshape(batch, height, width, channels).transpose(0, 3, 1, 2)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        flat, shape = self._to_2d(np.asarray(x, dtype=np.float64))
+        if flat.shape[1] != self.num_features:
+            raise ConfigurationError(
+                f"BatchNorm expected {self.num_features} features, got {flat.shape[1]}"
+            )
+        if training:
+            mean = flat.mean(axis=0)
+            var = flat.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.epsilon)
+        normalized = (flat - mean) / std
+        out = normalized * self.params["gamma"] + self.params["beta"]
+        self._cache = (normalized, std, shape, training)
+        return self._from_2d(out, shape)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward on BatchNorm layer")
+        normalized, std, shape, training = self._cache
+        grad_flat, _ = self._to_2d(np.asarray(grad_output, dtype=np.float64))
+        self.grads["gamma"] = (grad_flat * normalized).sum(axis=0)
+        self.grads["beta"] = grad_flat.sum(axis=0)
+        n = grad_flat.shape[0]
+        gamma = self.params["gamma"]
+        if training:
+            # Standard batch-norm backward through the batch statistics.
+            dnorm = grad_flat * gamma
+            dx = (
+                dnorm
+                - dnorm.mean(axis=0)
+                - normalized * (dnorm * normalized).mean(axis=0)
+            ) / std
+        else:
+            dx = grad_flat * gamma / std
+        return self._from_2d(dx, shape)
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Expand ``(N, C, H, W)`` into column form for convolution-as-matmul."""
+    batch, channels, height, width = x.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=np.float64)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = padded[:, :, ky:y_max:stride, kx:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`, accumulating overlapping contributions."""
+    batch, channels, height, width = input_shape
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float64
+    )
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2D(Layer):
+    """2-D convolution implemented with im2col + matrix multiplication.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side length.
+    stride, padding:
+        Standard convolution hyper-parameters.
+    rng:
+        Seed or generator for the He-normal kernel initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: int | np.random.Generator | None = 0,
+        use_bias: bool = True,
+    ) -> None:
+        super().__init__()
+        for name, value in (
+            ("in_channels", in_channels),
+            ("out_channels", out_channels),
+            ("kernel_size", kernel_size),
+            ("stride", stride),
+        ):
+            if value < 1:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if padding < 0:
+            raise ConfigurationError(f"padding must be non-negative, got {padding}")
+        generator = as_generator(rng)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.use_bias = bool(use_bias)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.params["W"] = he_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), generator, fan_in=fan_in
+        )
+        if use_bias:
+            self.params["b"] = zeros_init((out_channels,))
+        self.zero_grads()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ConfigurationError(
+                f"Conv2D expected input (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride, self.padding)
+        weights = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ weights.T
+        if self.use_bias:
+            out = out + self.params["b"]
+        batch = x.shape[0]
+        out = out.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (x.shape, cols, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward on Conv2D layer")
+        input_shape, cols, out_h, out_w = self._cache
+        batch = input_shape[0]
+        grad = np.asarray(grad_output, dtype=np.float64).transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, self.out_channels
+        )
+        weights = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"] = (grad.T @ cols).reshape(self.params["W"].shape)
+        if self.use_bias:
+            self.grads["b"] = grad.sum(axis=0)
+        grad_cols = grad @ weights
+        return _col2im(
+            grad_cols,
+            input_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        )
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with a square window.
+
+    Parameters
+    ----------
+    pool_size:
+        Window side; the spatial dimensions must be divisible by it.
+    """
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ConfigurationError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ConfigurationError(f"MaxPool2D expects 4-D input, got ndim={x.ndim}")
+        batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ConfigurationError(
+                f"spatial dims ({height}, {width}) must be divisible by pool_size={p}"
+            )
+        reshaped = x.reshape(batch, channels, height // p, p, width // p, p)
+        out = reshaped.max(axis=(3, 5))
+        mask = reshaped == out[:, :, :, None, :, None]
+        self._cache = (x.shape, mask)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward on MaxPool2D layer")
+        input_shape, mask = self._cache
+        batch, channels, height, width = input_shape
+        p = self.pool_size
+        grad = np.asarray(grad_output, dtype=np.float64)[:, :, :, None, :, None]
+        # Ties (equal maxima within a window) split the gradient evenly, which
+        # keeps the backward pass a true subgradient.
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        spread = mask * grad / counts
+        return spread.reshape(batch, channels, height, width)
+
+
+class ResidualDenseBlock(Layer):
+    """Two dense layers with ReLU and an identity skip connection.
+
+    The block keeps its input width so the skip needs no projection; stacking
+    these blocks gives the "ResNet-lite" model used as the stand-in for
+    ResNet-18 (see DESIGN.md substitutions).
+    """
+
+    def __init__(
+        self, width: int, rng: int | np.random.Generator | None = 0
+    ) -> None:
+        super().__init__()
+        generator = as_generator(rng)
+        self.width = int(width)
+        self.dense1 = Dense(width, width, rng=generator)
+        self.dense2 = Dense(width, width, rng=generator)
+        self.relu1 = ReLU()
+        self.relu2 = ReLU()
+        self._sync_params()
+
+    def _sync_params(self) -> None:
+        self.params = {
+            "dense1.W": self.dense1.params["W"],
+            "dense1.b": self.dense1.params["b"],
+            "dense2.W": self.dense2.params["W"],
+            "dense2.b": self.dense2.params["b"],
+        }
+        self.grads = {
+            "dense1.W": self.dense1.grads["W"],
+            "dense1.b": self.dense1.grads["b"],
+            "dense2.W": self.dense2.grads["W"],
+            "dense2.b": self.dense2.grads["b"],
+        }
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        hidden = self.relu1.forward(self.dense1.forward(x, training), training)
+        out = self.dense2.forward(hidden, training)
+        return self.relu2.forward(out + x, training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad_output)
+        grad_branch = self.dense1.backward(
+            self.relu1.backward(self.dense2.backward(grad))
+        )
+        self._sync_grads()
+        return grad_branch + grad
+
+    def _sync_grads(self) -> None:
+        self.grads["dense1.W"] = self.dense1.grads["W"]
+        self.grads["dense1.b"] = self.dense1.grads["b"]
+        self.grads["dense2.W"] = self.dense2.grads["W"]
+        self.grads["dense2.b"] = self.dense2.grads["b"]
+
+    def zero_grads(self) -> None:
+        self.dense1.zero_grads()
+        self.dense2.zero_grads()
+        self._sync_grads()

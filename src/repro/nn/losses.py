@@ -1,0 +1,91 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class Loss(abc.ABC):
+    """A differentiable scalar objective on (predictions, targets)."""
+
+    @abc.abstractmethod
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over the batch."""
+
+    @abc.abstractmethod
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the mean loss with respect to the predictions."""
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross entropy on integer class labels.
+
+    ``predictions`` are raw logits of shape ``(batch, classes)``; ``targets``
+    are integer labels of shape ``(batch,)``.
+    """
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        self.epsilon = float(epsilon)
+
+    def _check(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets)
+        if predictions.ndim != 2:
+            raise ConfigurationError(
+                f"predictions must be (batch, classes), got shape {predictions.shape}"
+            )
+        if targets.ndim != 1 or targets.shape[0] != predictions.shape[0]:
+            raise ConfigurationError(
+                "targets must be a 1-D integer label array matching the batch size"
+            )
+        if np.any(targets < 0) or np.any(targets >= predictions.shape[1]):
+            raise ConfigurationError("target labels out of range for the logits")
+        return predictions, targets.astype(np.int64)
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions, targets = self._check(predictions, targets)
+        probabilities = softmax(predictions)
+        picked = probabilities[np.arange(targets.size), targets]
+        return float(-np.log(picked + self.epsilon).mean())
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._check(predictions, targets)
+        probabilities = softmax(predictions)
+        grad = probabilities
+        grad[np.arange(targets.size), targets] -= 1.0
+        return grad / targets.size
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error between predictions and real-valued targets."""
+
+    def _check(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ConfigurationError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        return predictions, targets
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions, targets = self._check(predictions, targets)
+        return float(((predictions - targets) ** 2).mean())
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._check(predictions, targets)
+        return 2.0 * (predictions - targets) / predictions.size

@@ -1,0 +1,239 @@
+"""Models: a Sequential container and the architectures used in experiments.
+
+The distributed simulator exchanges gradients as flat vectors, so the
+container exposes :meth:`Sequential.get_flat_params`,
+:meth:`Sequential.set_flat_params` and :meth:`Sequential.flat_gradient`.
+Parameter writes are in-place so composite layers (residual blocks) that hold
+references to sub-layer arrays stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    ResidualDenseBlock,
+)
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.utils.rng import as_generator
+
+__all__ = ["Sequential", "build_mlp", "build_cnn", "build_resnet_lite"]
+
+
+class Sequential:
+    """A plain feed-forward stack of layers.
+
+    Parameters
+    ----------
+    layers:
+        The layers in execution order.
+    name:
+        Label used in experiment reports.
+    """
+
+    def __init__(self, layers: Sequence[Layer], name: str = "sequential") -> None:
+        if len(layers) == 0:
+            raise ConfigurationError("a model needs at least one layer")
+        self.layers = list(layers)
+        self.name = str(name)
+
+    # -- forward / backward ------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run the forward pass through every layer."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate from the output gradient; returns the input gradient."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluation-mode forward pass."""
+        return self.forward(x, training=False)
+
+    # -- parameter plumbing ----------------------------------------------------
+    def parameter_arrays(self) -> list[np.ndarray]:
+        """All parameter arrays in deterministic (layer, name) order."""
+        arrays: list[np.ndarray] = []
+        for layer in self.layers:
+            arrays.extend(array for _, array in layer.parameter_items())
+        return arrays
+
+    def gradient_arrays(self) -> list[np.ndarray]:
+        """All gradient arrays in the same order as :meth:`parameter_arrays`."""
+        arrays: list[np.ndarray] = []
+        for layer in self.layers:
+            arrays.extend(array for _, array in layer.gradient_items())
+        return arrays
+
+    def parameter_shapes(self) -> list[tuple[int, ...]]:
+        """Shapes of all parameter arrays (used to unflatten vectors)."""
+        return [array.shape for array in self.parameter_arrays()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count ``d``."""
+        return int(sum(array.size for array in self.parameter_arrays()))
+
+    def get_flat_params(self) -> np.ndarray:
+        """Copy of all parameters as a single flat vector."""
+        arrays = self.parameter_arrays()
+        if not arrays:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([a.ravel() for a in arrays]).astype(np.float64)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Write a flat vector back into the parameter arrays (in place)."""
+        flat = np.asarray(flat, dtype=np.float64).ravel()
+        expected = self.num_parameters()
+        if flat.size != expected:
+            raise ConfigurationError(
+                f"flat parameter vector has {flat.size} entries, model needs {expected}"
+            )
+        offset = 0
+        for array in self.parameter_arrays():
+            size = array.size
+            array[...] = flat[offset : offset + size].reshape(array.shape)
+            offset += size
+
+    def flat_gradient(self) -> np.ndarray:
+        """Current gradients as a single flat vector (after a backward pass)."""
+        arrays = self.gradient_arrays()
+        if not arrays:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([a.ravel() for a in arrays]).astype(np.float64)
+
+    def zero_grads(self) -> None:
+        """Reset every layer's gradients."""
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # -- convenience ----------------------------------------------------------
+    def loss_and_gradient(
+        self, x: np.ndarray, y: np.ndarray, loss: Loss
+    ) -> tuple[float, np.ndarray]:
+        """Mean loss on ``(x, y)`` and the flat parameter gradient."""
+        self.zero_grads()
+        predictions = self.forward(x, training=True)
+        value = loss.value(predictions, y)
+        self.backward(loss.gradient(predictions, y))
+        return value, self.flat_gradient()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Sequential(name={self.name!r}, layers={len(self.layers)}, "
+            f"parameters={self.num_parameters()})"
+        )
+
+
+def build_mlp(
+    input_dim: int,
+    num_classes: int,
+    hidden: Sequence[int] = (64, 64),
+    seed: int | np.random.Generator | None = 0,
+    batch_norm: bool = False,
+) -> Sequential:
+    """Multi-layer perceptron classifier.
+
+    Parameters
+    ----------
+    input_dim, num_classes:
+        Input feature count and number of output classes (logits).
+    hidden:
+        Widths of the hidden layers.
+    seed:
+        Initialization seed.
+    batch_norm:
+        Insert a BatchNorm after every hidden Dense layer.
+    """
+    rng = as_generator(seed)
+    layers: list[Layer] = []
+    width = input_dim
+    for h in hidden:
+        layers.append(Dense(width, h, rng=rng))
+        if batch_norm:
+            layers.append(BatchNorm(h))
+        layers.append(ReLU())
+        width = h
+    layers.append(Dense(width, num_classes, rng=rng))
+    return Sequential(layers, name=f"mlp({input_dim}->{list(hidden)}->{num_classes})")
+
+
+def build_cnn(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    channels: Sequence[int] = (8, 16),
+    kernel_size: int = 3,
+    dense_width: int = 64,
+    seed: int | np.random.Generator | None = 0,
+) -> Sequential:
+    """Small convolutional classifier (Conv-ReLU-Pool blocks + dense head).
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of the input images.
+    num_classes:
+        Number of output classes.
+    channels:
+        Output channels of the successive conv blocks; each block halves the
+        spatial resolution with a 2x2 max pool.
+    """
+    rng = as_generator(seed)
+    in_channels, height, width = input_shape
+    layers: list[Layer] = []
+    current = in_channels
+    for out_channels in channels:
+        layers.append(
+            Conv2D(current, out_channels, kernel_size, padding=kernel_size // 2, rng=rng)
+        )
+        layers.append(ReLU())
+        layers.append(MaxPool2D(2))
+        current = out_channels
+        height //= 2
+        width //= 2
+        if height < 1 or width < 1:
+            raise ConfigurationError(
+                "too many conv blocks for the input resolution"
+            )
+    layers.append(Flatten())
+    layers.append(Dense(current * height * width, dense_width, rng=rng))
+    layers.append(ReLU())
+    layers.append(Dense(dense_width, num_classes, rng=rng))
+    return Sequential(layers, name=f"cnn(channels={list(channels)})")
+
+
+def build_resnet_lite(
+    input_dim: int,
+    num_classes: int,
+    width: int = 64,
+    num_blocks: int = 3,
+    seed: int | np.random.Generator | None = 0,
+) -> Sequential:
+    """Residual MLP — the repo's stand-in for ResNet-18 (see DESIGN.md).
+
+    A stem Dense layer lifts the input to ``width`` features, ``num_blocks``
+    identity residual blocks follow, and a linear head produces the logits.
+    """
+    rng = as_generator(seed)
+    layers: list[Layer] = [Dense(input_dim, width, rng=rng), ReLU()]
+    for _ in range(num_blocks):
+        layers.append(ResidualDenseBlock(width, rng=rng))
+    layers.append(Dense(width, num_classes, rng=rng))
+    return Sequential(
+        layers, name=f"resnet_lite(width={width}, blocks={num_blocks})"
+    )

@@ -1,0 +1,255 @@
+"""Factory helpers assembling complete trainers for the paper's setups.
+
+These are the main high-level entry points of the library: given a dataset,
+a model and a (scheme, attack, defense) combination, they wire together the
+assignment graph, worker pool, Byzantine selector, aggregation pipeline,
+parameter server and training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.assignment.base import AssignmentScheme
+from repro.assignment.baseline import BaselineAssignment
+from repro.assignment.frc import FRCAssignment
+from repro.attacks.base import Attack
+from repro.attacks.selection import (
+    ByzantineSelector,
+    OmniscientSelector,
+    RandomSelector,
+)
+from repro.cluster.simulator import TrainingCluster
+from repro.cluster.worker import WorkerPool
+from repro.core.pipelines import (
+    AggregationPipeline,
+    ByzShieldPipeline,
+    DetoxPipeline,
+    DracoPipeline,
+    VanillaPipeline,
+)
+from repro.data.datasets import Dataset
+from repro.exceptions import ConfigurationError
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.nn.losses import Loss
+from repro.nn.models import Sequential
+from repro.training.config import TrainingConfig
+from repro.training.gradients import ModelGradientComputer
+from repro.training.trainer import DistributedTrainer
+
+__all__ = [
+    "make_selector",
+    "build_byzshield_trainer",
+    "build_detox_trainer",
+    "build_draco_trainer",
+    "build_vanilla_trainer",
+]
+
+
+def make_selector(
+    kind: str, num_byzantine: int, seed: int | None = 0
+) -> ByzantineSelector | None:
+    """Create a Byzantine selector by name (``"omniscient"`` or ``"random"``).
+
+    Returns ``None`` when ``num_byzantine`` is zero (no attack).
+    """
+    if num_byzantine == 0:
+        return None
+    if kind == "omniscient":
+        return OmniscientSelector(num_byzantine, seed=seed)
+    if kind == "random":
+        return RandomSelector(num_byzantine)
+    raise ConfigurationError(
+        f"unknown selector kind {kind!r}; expected 'omniscient' or 'random'"
+    )
+
+
+def _build_trainer(
+    assignment: BipartiteAssignment,
+    pipeline: AggregationPipeline,
+    model: Sequential,
+    train_dataset: Dataset,
+    test_dataset: Dataset,
+    config: TrainingConfig,
+    attack: Attack | None,
+    selector: ByzantineSelector | None,
+    loss: Loss | None,
+    label: str,
+) -> DistributedTrainer:
+    gradient_computer = ModelGradientComputer(model, loss=loss)
+    pool = WorkerPool(assignment, gradient_computer)
+    cluster = TrainingCluster(
+        assignment=assignment,
+        worker_pool=pool,
+        attack=attack,
+        selector=selector,
+        seed=config.seed,
+    )
+    return DistributedTrainer(
+        cluster=cluster,
+        pipeline=pipeline,
+        gradient_computer=gradient_computer,
+        train_dataset=train_dataset,
+        test_dataset=test_dataset,
+        config=config,
+        label=label,
+    )
+
+
+def build_byzshield_trainer(
+    scheme: AssignmentScheme,
+    model: Sequential,
+    train_dataset: Dataset,
+    test_dataset: Dataset,
+    config: TrainingConfig,
+    attack: Attack | None = None,
+    num_byzantine: int = 0,
+    selection: str = "omniscient",
+    aggregator: Aggregator | None = None,
+    loss: Loss | None = None,
+    label: str | None = None,
+) -> DistributedTrainer:
+    """ByzShield trainer: redundant expander assignment + vote + robust aggregation.
+
+    Parameters
+    ----------
+    scheme:
+        A redundant assignment scheme (MOLS or Ramanujan).
+    attack, num_byzantine, selection:
+        The adversary; ``num_byzantine=0`` (or ``attack=None``) trains without
+        Byzantine workers.
+    aggregator:
+        Post-vote robust rule; defaults to the paper's coordinate-wise median.
+    """
+    if (attack is None) != (num_byzantine == 0):
+        raise ConfigurationError(
+            "provide both an attack and num_byzantine > 0, or neither"
+        )
+    assignment = scheme.assignment
+    pipeline = ByzShieldPipeline(
+        assignment, aggregator=aggregator or CoordinateWiseMedian()
+    )
+    selector = make_selector(selection, num_byzantine, seed=config.seed)
+    return _build_trainer(
+        assignment,
+        pipeline,
+        model,
+        train_dataset,
+        test_dataset,
+        config,
+        attack,
+        selector,
+        loss,
+        label or f"byzshield[{assignment.name}]",
+    )
+
+
+def build_detox_trainer(
+    num_workers: int,
+    replication: int,
+    model: Sequential,
+    train_dataset: Dataset,
+    test_dataset: Dataset,
+    config: TrainingConfig,
+    aggregator: Aggregator,
+    attack: Attack | None = None,
+    num_byzantine: int = 0,
+    selection: str = "omniscient",
+    loss: Loss | None = None,
+    label: str | None = None,
+) -> DistributedTrainer:
+    """DETOX trainer: FRC grouping + per-group vote + second-stage robust rule."""
+    if (attack is None) != (num_byzantine == 0):
+        raise ConfigurationError(
+            "provide both an attack and num_byzantine > 0, or neither"
+        )
+    scheme = FRCAssignment(num_workers, replication)
+    assignment = scheme.assignment
+    pipeline = DetoxPipeline(assignment, aggregator=aggregator)
+    selector = make_selector(selection, num_byzantine, seed=config.seed)
+    return _build_trainer(
+        assignment,
+        pipeline,
+        model,
+        train_dataset,
+        test_dataset,
+        config,
+        attack,
+        selector,
+        loss,
+        label or f"detox[K={num_workers},r={replication}]",
+    )
+
+
+def build_draco_trainer(
+    num_workers: int,
+    replication: int,
+    model: Sequential,
+    train_dataset: Dataset,
+    test_dataset: Dataset,
+    config: TrainingConfig,
+    attack: Attack | None = None,
+    num_byzantine: int = 0,
+    selection: str = "omniscient",
+    loss: Loss | None = None,
+    label: str | None = None,
+) -> DistributedTrainer:
+    """DRACO trainer: FRC grouping with the exact-recovery requirement ``r >= 2q+1``."""
+    if (attack is None) != (num_byzantine == 0):
+        raise ConfigurationError(
+            "provide both an attack and num_byzantine > 0, or neither"
+        )
+    scheme = FRCAssignment(num_workers, replication)
+    assignment = scheme.assignment
+    pipeline = DracoPipeline(assignment, num_byzantine=num_byzantine)
+    selector = make_selector(selection, num_byzantine, seed=config.seed)
+    return _build_trainer(
+        assignment,
+        pipeline,
+        model,
+        train_dataset,
+        test_dataset,
+        config,
+        attack,
+        selector,
+        loss,
+        label or f"draco[K={num_workers},r={replication}]",
+    )
+
+
+def build_vanilla_trainer(
+    num_workers: int,
+    model: Sequential,
+    train_dataset: Dataset,
+    test_dataset: Dataset,
+    config: TrainingConfig,
+    aggregator: Aggregator,
+    attack: Attack | None = None,
+    num_byzantine: int = 0,
+    selection: str = "omniscient",
+    loss: Loss | None = None,
+    label: str | None = None,
+) -> DistributedTrainer:
+    """Baseline trainer: no redundancy, the robust rule sees the K worker gradients."""
+    if (attack is None) != (num_byzantine == 0):
+        raise ConfigurationError(
+            "provide both an attack and num_byzantine > 0, or neither"
+        )
+    scheme = BaselineAssignment(num_workers)
+    assignment = scheme.assignment
+    pipeline = VanillaPipeline(assignment, aggregator=aggregator)
+    selector = make_selector(selection, num_byzantine, seed=config.seed)
+    return _build_trainer(
+        assignment,
+        pipeline,
+        model,
+        train_dataset,
+        test_dataset,
+        config,
+        attack,
+        selector,
+        loss,
+        label or f"vanilla[{aggregator.aggregator_name},K={num_workers}]",
+    )

@@ -1,0 +1,125 @@
+"""Checkpointing: save and restore a training run's state.
+
+Long ByzShield runs (the paper trains for 13 epochs / ~1000 iterations) need
+resumable state.  A checkpoint stores the global model parameters, the
+optimizer's momentum buffer and iteration counter, and the training history,
+using a ``.npz`` archive plus a JSON sidecar for the scalar metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.cluster.server import ParameterServer
+from repro.exceptions import TrainingError
+from repro.training.history import IterationRecord, TrainingHistory
+
+__all__ = ["save_checkpoint", "load_checkpoint", "restore_server", "restore_history"]
+
+
+def save_checkpoint(
+    path: "str | pathlib.Path",
+    server: ParameterServer,
+    history: TrainingHistory | None = None,
+) -> pathlib.Path:
+    """Write the server state (and optionally the history) to ``path`` (.npz).
+
+    Returns the path actually written (a ``.npz`` suffix is enforced).
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    optimizer = server.optimizer
+    arrays: dict[str, np.ndarray] = {
+        "params": server.params,
+        "velocity": optimizer._velocity
+        if optimizer._velocity is not None
+        else np.zeros(0, dtype=np.float64),
+    }
+    metadata = {
+        "iteration": server.iteration,
+        "optimizer_iteration": optimizer.iteration,
+        "momentum": optimizer.momentum,
+        "weight_decay": optimizer.weight_decay,
+        "has_velocity": optimizer._velocity is not None,
+        "history_label": history.label if history is not None else None,
+    }
+    if history is not None:
+        arrays["history_records"] = np.array(
+            [
+                (
+                    r.iteration,
+                    r.train_loss,
+                    r.distortion_fraction,
+                    r.test_accuracy,
+                    r.test_loss,
+                    r.learning_rate,
+                )
+                for r in history.records
+            ],
+            dtype=np.float64,
+        ).reshape(len(history.records), 6)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    path.with_suffix(".json").write_text(json.dumps(metadata, indent=2))
+    return path
+
+
+def load_checkpoint(path: "str | pathlib.Path") -> dict:
+    """Load a checkpoint into a plain dictionary of arrays and metadata."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    if not path.exists():
+        raise TrainingError(f"checkpoint {path} does not exist")
+    sidecar = path.with_suffix(".json")
+    if not sidecar.exists():
+        raise TrainingError(f"checkpoint metadata {sidecar} does not exist")
+    with np.load(path) as archive:
+        arrays = {key: archive[key].copy() for key in archive.files}
+    metadata = json.loads(sidecar.read_text())
+    return {"arrays": arrays, "metadata": metadata}
+
+
+def restore_server(server: ParameterServer, checkpoint: dict) -> None:
+    """Restore a parameter server's model and optimizer state in place."""
+    arrays = checkpoint["arrays"]
+    metadata = checkpoint["metadata"]
+    params = arrays["params"]
+    if params.shape != server.params.shape:
+        raise TrainingError(
+            f"checkpoint has {params.size} parameters, server expects {server.params.size}"
+        )
+    server._params = params.copy()
+    server.iteration = int(metadata["iteration"])
+    optimizer = server.optimizer
+    optimizer.iteration = int(metadata["optimizer_iteration"])
+    if metadata.get("has_velocity"):
+        optimizer._velocity = arrays["velocity"].copy()
+    else:
+        optimizer._velocity = None
+
+
+def restore_history(checkpoint: dict) -> TrainingHistory:
+    """Rebuild a :class:`TrainingHistory` from a checkpoint dictionary."""
+    arrays = checkpoint["arrays"]
+    metadata = checkpoint["metadata"]
+    history = TrainingHistory(label=metadata.get("history_label") or "restored")
+    records = arrays.get("history_records")
+    if records is None:
+        return history
+    for row in records:
+        history.append(
+            IterationRecord(
+                iteration=int(row[0]),
+                train_loss=float(row[1]),
+                distortion_fraction=float(row[2]),
+                test_accuracy=float(row[3]),
+                test_loss=float(row[4]),
+                learning_rate=float(row[5]),
+            )
+        )
+    return history

@@ -1,0 +1,55 @@
+"""Gradient oracle wrapping a model and a loss.
+
+Workers (and the PS, for evaluation) need a function mapping
+``(flat parameters, inputs, labels)`` to ``(flat gradient, loss)``.  The
+computer temporarily loads the parameters into the shared model instance,
+runs a forward/backward pass and extracts the flat gradient — the in-process
+analogue of broadcasting ``w_t`` to a worker and having it compute its file
+gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.models import Sequential
+
+__all__ = ["ModelGradientComputer"]
+
+
+class ModelGradientComputer:
+    """Computes per-file gradients of a model at arbitrary parameter vectors.
+
+    Parameters
+    ----------
+    model:
+        The shared model instance (its parameters are overwritten on every
+        call, which is safe because all callers pass explicit parameters).
+    loss:
+        Training loss; defaults to softmax cross entropy.
+    """
+
+    def __init__(self, model: Sequential, loss: Loss | None = None) -> None:
+        self.model = model
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d`` of the flat gradient."""
+        return self.model.num_parameters()
+
+    def __call__(
+        self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Gradient and loss of the model at ``params`` on ``(inputs, labels)``."""
+        if inputs.shape[0] == 0:
+            raise TrainingError("cannot compute a gradient on an empty file")
+        self.model.set_flat_params(params)
+        value, gradient = self.model.loss_and_gradient(inputs, labels, self.loss)
+        return gradient, value
+
+    def initial_params(self) -> np.ndarray:
+        """The model's current parameters (used as ``w₀``)."""
+        return self.model.get_flat_params()

@@ -1,0 +1,154 @@
+"""The synchronous distributed training loop (paper Algorithm 1).
+
+Each iteration:
+
+1. the PS samples a batch ``B_t`` and partitions it into ``f`` files;
+2. the simulated workers compute their assigned file gradients at the
+   broadcast parameters ``w_t``;
+3. the Byzantine selector picks the compromised workers and the attack
+   substitutes their returns;
+4. the PS runs its aggregation pipeline (majority vote + robust aggregation
+   for ByzShield/DETOX, plain robust aggregation for the baselines) and takes
+   an SGD step;
+5. periodically the test accuracy is evaluated, producing the series plotted
+   in the paper's Figures 2–11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.server import ParameterServer
+from repro.cluster.simulator import TrainingCluster
+from repro.core.pipelines import AggregationPipeline
+from repro.data.batching import BatchSampler, partition_batch_into_files
+from repro.data.datasets import Dataset
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn.metrics import evaluate_model
+from repro.nn.optim import SGD, StepDecaySchedule
+from repro.training.config import TrainingConfig
+from repro.training.gradients import ModelGradientComputer
+from repro.training.history import IterationRecord, TrainingHistory
+
+__all__ = ["DistributedTrainer"]
+
+
+class DistributedTrainer:
+    """Drives the full training loop for one (scheme, attack, defense) setup.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated worker cluster (assignment + attack + selector).
+    pipeline:
+        Aggregation pipeline run by the PS.
+    gradient_computer:
+        Shared model/loss gradient oracle; also provides ``w₀``.
+    train_dataset, test_dataset:
+        Training data (batched every iteration) and held-out evaluation data.
+    config:
+        Hyper-parameters (batch size, iterations, learning-rate schedule...).
+    label:
+        Name attached to the resulting history (used in experiment reports).
+    """
+
+    def __init__(
+        self,
+        cluster: TrainingCluster,
+        pipeline: AggregationPipeline,
+        gradient_computer: ModelGradientComputer,
+        train_dataset: Dataset,
+        test_dataset: Dataset,
+        config: TrainingConfig,
+        label: str = "run",
+    ) -> None:
+        assignment = cluster.assignment
+        if config.batch_size % assignment.num_files != 0:
+            raise ConfigurationError(
+                f"batch_size={config.batch_size} must be divisible by the number "
+                f"of files f={assignment.num_files}"
+            )
+        self.cluster = cluster
+        self.pipeline = pipeline
+        self.gradient_computer = gradient_computer
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.config = config
+        self.label = label
+
+        schedule = StepDecaySchedule(
+            config.learning_rate, config.lr_decay, config.lr_period
+        )
+        optimizer = SGD(
+            schedule, momentum=config.momentum, weight_decay=config.weight_decay
+        )
+        self.server = ParameterServer(
+            initial_params=gradient_computer.initial_params(),
+            pipeline=pipeline,
+            optimizer=optimizer,
+        )
+        self.sampler = BatchSampler(
+            dataset=train_dataset, batch_size=config.batch_size, seed=config.seed
+        )
+
+    # -- single iteration -------------------------------------------------------
+    def _file_data(self, batch_indices: np.ndarray) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        files = partition_batch_into_files(
+            batch_indices, self.cluster.assignment.num_files
+        )
+        return {
+            index: self.sampler.batch_data(file_indices)
+            for index, file_indices in enumerate(files)
+        }
+
+    def run_iteration(self, iteration: int) -> IterationRecord:
+        """Execute one synchronous iteration and return its metrics."""
+        params = self.server.broadcast()
+        file_data = self._file_data(self.sampler.next_batch())
+        round_result = self.cluster.run_round(params, file_data, iteration)
+        learning_rate = self.server.optimizer.schedule.rate(self.server.optimizer.iteration)
+        self.server.update(round_result.file_votes)
+        return IterationRecord(
+            iteration=iteration,
+            train_loss=round_result.mean_file_loss,
+            distortion_fraction=round_result.distortion_fraction,
+            learning_rate=learning_rate,
+        )
+
+    def evaluate(self) -> dict[str, float]:
+        """Test accuracy and loss of the current global model."""
+        self.gradient_computer.model.set_flat_params(self.server.params)
+        return evaluate_model(
+            self.gradient_computer.model,
+            self.test_dataset.inputs,
+            self.test_dataset.labels,
+        )
+
+    # -- full loop ----------------------------------------------------------------
+    def train(self, verbose: bool = False) -> TrainingHistory:
+        """Run ``config.num_iterations`` iterations and return the history."""
+        history = TrainingHistory(label=self.label)
+        for iteration in range(self.config.num_iterations):
+            record = self.run_iteration(iteration)
+            evaluate_now = (
+                (iteration + 1) % self.config.eval_every == 0
+                or iteration == self.config.num_iterations - 1
+            )
+            if evaluate_now:
+                metrics = self.evaluate()
+                record = IterationRecord(
+                    iteration=record.iteration,
+                    train_loss=record.train_loss,
+                    distortion_fraction=record.distortion_fraction,
+                    learning_rate=record.learning_rate,
+                    test_accuracy=metrics["accuracy"],
+                    test_loss=metrics["loss"],
+                )
+                if verbose:  # pragma: no cover - console output
+                    print(
+                        f"[{self.label}] iter {iteration + 1}/{self.config.num_iterations} "
+                        f"loss={record.train_loss:.4f} acc={record.test_accuracy:.3f} "
+                        f"eps={record.distortion_fraction:.3f}"
+                    )
+            history.append(record)
+        return history

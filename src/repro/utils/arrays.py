@@ -1,0 +1,83 @@
+"""Array manipulation helpers shared by the NN substrate and aggregators.
+
+Gradients travel through the system as flat ``float64`` vectors; these helpers
+convert between a model's list of parameter arrays and that flat
+representation, and provide vectorized distance computations used by
+Krum-family aggregators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "stack_vectors",
+    "flatten_arrays",
+    "unflatten_vector",
+    "pairwise_squared_distances",
+]
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate a sequence of arrays into one flat float64 vector."""
+    if len(arrays) == 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+
+
+def unflatten_vector(
+    vector: np.ndarray, shapes: Sequence[tuple[int, ...]]
+) -> list[np.ndarray]:
+    """Split a flat vector back into arrays with the given ``shapes``.
+
+    Raises
+    ------
+    ValueError
+        If the vector length does not match the total number of elements.
+    """
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    sizes = [int(np.prod(s)) if len(s) > 0 else 1 for s in shapes]
+    total = int(sum(sizes))
+    if vector.size != total:
+        raise ValueError(
+            f"vector has {vector.size} elements but shapes require {total}"
+        )
+    out: list[np.ndarray] = []
+    offset = 0
+    for shape, size in zip(shapes, sizes):
+        out.append(vector[offset : offset + size].reshape(shape))
+        offset += size
+    return out
+
+
+def stack_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack 1-D vectors into an ``(n, d)`` float64 matrix with validation."""
+    if len(vectors) == 0:
+        raise ValueError("cannot stack an empty sequence of vectors")
+    mats = [np.asarray(v, dtype=np.float64).ravel() for v in vectors]
+    d = mats[0].size
+    for i, m in enumerate(mats):
+        if m.size != d:
+            raise ValueError(
+                f"vector {i} has dimension {m.size}, expected {d} (all votes "
+                "must have identical dimensionality)"
+            )
+    return np.vstack(mats)
+
+
+def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
+    """Compute the ``(n, n)`` matrix of squared Euclidean distances.
+
+    Uses the ``||x||² + ||y||² − 2·x·y`` identity so the whole computation is
+    a single matrix multiplication; numerical noise is clipped at zero.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
+    norms = np.einsum("ij,ij->i", matrix, matrix)
+    sq = norms[:, None] + norms[None, :] - 2.0 * (matrix @ matrix.T)
+    np.maximum(sq, 0.0, out=sq)
+    np.fill_diagonal(sq, 0.0)
+    return sq

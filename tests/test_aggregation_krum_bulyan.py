@@ -1,0 +1,92 @@
+"""Tests for Krum, Multi-Krum and Bulyan."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.bulyan import BulyanAggregator
+from repro.aggregation.krum import KrumAggregator, MultiKrumAggregator, krum_scores
+from repro.exceptions import AggregationError
+
+
+def clustered_votes(num_honest=10, num_byzantine=2, dim=6, offset=50.0, seed=0):
+    rng = np.random.default_rng(seed)
+    honest = rng.standard_normal((num_honest, dim)) * 0.1 + 1.0
+    byzantine = rng.standard_normal((num_byzantine, dim)) * 0.1 + offset
+    return np.vstack([honest, byzantine]), honest
+
+
+def test_krum_scores_shape_and_requirement():
+    votes, _ = clustered_votes()
+    scores = krum_scores(votes, num_byzantine=2)
+    assert scores.shape == (12,)
+    with pytest.raises(AggregationError):
+        krum_scores(votes[:5], num_byzantine=2)  # needs 2q+3 = 7 votes
+    with pytest.raises(AggregationError):
+        krum_scores(votes, num_byzantine=-1)
+
+
+def test_krum_selects_an_honest_vote():
+    votes, honest = clustered_votes()
+    result = KrumAggregator(num_byzantine=2)(votes)
+    distances_to_honest = np.linalg.norm(honest - result, axis=1)
+    assert distances_to_honest.min() < 1e-9  # Krum returns one of the inputs
+    assert np.linalg.norm(result - honest.mean(axis=0)) < 1.0
+
+
+def test_krum_minimum_votes():
+    assert KrumAggregator(num_byzantine=3).minimum_votes() == 9
+    assert KrumAggregator(num_byzantine=3).minimum_votes(1) == 5
+    with pytest.raises(AggregationError):
+        KrumAggregator(num_byzantine=-1)
+
+
+def test_multi_krum_averages_honest_votes():
+    votes, honest = clustered_votes()
+    result = MultiKrumAggregator(num_byzantine=2)(votes)
+    assert np.linalg.norm(result - honest.mean(axis=0)) < 0.5
+
+
+def test_multi_krum_explicit_k():
+    votes, honest = clustered_votes()
+    result = MultiKrumAggregator(num_byzantine=2, multi_k=3)(votes)
+    assert np.linalg.norm(result - honest.mean(axis=0)) < 0.5
+    with pytest.raises(AggregationError):
+        MultiKrumAggregator(num_byzantine=1, multi_k=0)
+
+
+def test_multi_krum_insufficient_votes():
+    votes, _ = clustered_votes(num_honest=4, num_byzantine=1)
+    with pytest.raises(AggregationError):
+        MultiKrumAggregator(num_byzantine=3)(votes)
+
+
+def test_bulyan_requires_4q_plus_3():
+    votes, _ = clustered_votes(num_honest=8, num_byzantine=2)  # 10 votes
+    with pytest.raises(AggregationError):
+        BulyanAggregator(num_byzantine=2)(votes)  # needs 11
+    assert BulyanAggregator(num_byzantine=2).minimum_votes() == 11
+    with pytest.raises(AggregationError):
+        BulyanAggregator(num_byzantine=-1)
+
+
+def test_bulyan_filters_byzantine_cluster():
+    votes, honest = clustered_votes(num_honest=13, num_byzantine=2)
+    result = BulyanAggregator(num_byzantine=2)(votes)
+    assert np.linalg.norm(result - honest.mean(axis=0)) < 0.5
+
+
+def test_bulyan_defends_single_coordinate_attack():
+    """The 'hidden vulnerability' scenario: one coordinate blown up slightly."""
+    rng = np.random.default_rng(1)
+    honest = rng.standard_normal((13, 8)) * 0.05
+    byzantine = rng.standard_normal((2, 8)) * 0.05
+    byzantine[:, 3] += 5.0  # large change in one coordinate only
+    votes = np.vstack([honest, byzantine])
+    result = BulyanAggregator(num_byzantine=2)(votes)
+    assert abs(result[3] - honest[:, 3].mean()) < 0.5
+
+
+def test_krum_identical_votes():
+    votes = np.ones((9, 4))
+    assert np.allclose(KrumAggregator(num_byzantine=2)(votes), 1.0)
+    assert np.allclose(BulyanAggregator(num_byzantine=1)(votes[:7]), 1.0)

@@ -1,0 +1,105 @@
+"""Tests for the MOLS assignment scheme, including the paper's Example 1 / Table 2."""
+
+import numpy as np
+import pytest
+
+from repro.assignment.mols import MOLSAssignment
+from repro.exceptions import ConfigurationError
+
+
+def test_dimensions(mols_5_3, mols_assignment):
+    assert mols_assignment.num_workers == 15
+    assert mols_assignment.num_files == 25
+    assert mols_assignment.computational_load == 5
+    assert mols_assignment.replication == 3
+    assert mols_5_3.describe()["scheme"] == "mols"
+
+
+def test_matches_paper_table2():
+    """The exact file placement of the paper's Example 1 (Table 2)."""
+    expected = {
+        0: [0, 9, 13, 17, 21],
+        1: [1, 5, 14, 18, 22],
+        2: [2, 6, 10, 19, 23],
+        3: [3, 7, 11, 15, 24],
+        4: [4, 8, 12, 16, 20],
+        5: [0, 8, 11, 19, 22],
+        6: [1, 9, 12, 15, 23],
+        7: [2, 5, 13, 16, 24],
+        8: [3, 6, 14, 17, 20],
+        9: [4, 7, 10, 18, 21],
+        10: [0, 7, 14, 16, 23],
+        11: [1, 8, 10, 17, 24],
+        12: [2, 9, 11, 18, 20],
+        13: [3, 5, 12, 19, 21],
+        14: [4, 6, 13, 15, 22],
+    }
+    scheme = MOLSAssignment(load=5, replication=3)
+    for worker, files in enumerate(scheme.worker_files()):
+        assert files == expected[worker], f"worker {worker}"
+
+
+def test_same_parallel_class_workers_share_no_files(mols_5_3, mols_assignment):
+    for k in range(3):
+        workers = mols_5_3.workers_of_parallel_class(k)
+        for i in range(len(workers)):
+            for j in range(i + 1, len(workers)):
+                assert mols_assignment.shared_files(workers[i], workers[j]) == set()
+
+
+def test_different_parallel_class_workers_share_exactly_one_file(mols_5_3, mols_assignment):
+    for a in range(15):
+        for b in range(a + 1, 15):
+            if mols_5_3.parallel_class_of_worker(a) != mols_5_3.parallel_class_of_worker(b):
+                assert len(mols_assignment.shared_files(a, b)) == 1
+
+
+def test_every_file_replicated_r_times(mols_assignment):
+    assert np.all(mols_assignment.file_degrees == 3)
+
+
+def test_parallel_class_helpers(mols_5_3):
+    assert mols_5_3.parallel_class_of_worker(0) == 0
+    assert mols_5_3.parallel_class_of_worker(14) == 2
+    assert mols_5_3.workers_of_parallel_class(1) == list(range(5, 10))
+    with pytest.raises(ConfigurationError):
+        mols_5_3.parallel_class_of_worker(15)
+    with pytest.raises(ConfigurationError):
+        mols_5_3.workers_of_parallel_class(3)
+
+
+def test_file_cell_mapping(mols_5_3):
+    assert mols_5_3.file_cell(0) == (0, 0)
+    assert mols_5_3.file_cell(9) == (1, 4)
+    assert mols_5_3.file_cell(24) == (4, 4)
+    with pytest.raises(ConfigurationError):
+        mols_5_3.file_cell(25)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        MOLSAssignment(load=6, replication=3)  # non-prime load
+    with pytest.raises(ConfigurationError):
+        MOLSAssignment(load=5, replication=5)  # r > l - 1
+    with pytest.raises(ConfigurationError):
+        MOLSAssignment(load=5, replication=4)  # even replication
+    with pytest.raises(ConfigurationError):
+        MOLSAssignment(load=5, replication=1)  # no redundancy
+
+
+def test_even_replication_allowed_for_structural_studies():
+    scheme = MOLSAssignment(load=5, replication=4, require_odd_replication=False)
+    assert scheme.assignment.replication == 4
+
+
+def test_larger_configuration_7_5():
+    scheme = MOLSAssignment(load=7, replication=5)
+    assignment = scheme.assignment
+    assert assignment.num_workers == 35
+    assert assignment.num_files == 49
+    assert assignment.computational_load == 7
+    assert assignment.replication == 5
+
+
+def test_assignment_caching(mols_5_3):
+    assert mols_5_3.assignment is mols_5_3.assignment

@@ -1,0 +1,102 @@
+"""Tests for the assignment and aggregation registries."""
+
+import pytest
+
+from repro.aggregation import available_aggregators, create_aggregator, get_aggregator
+from repro.aggregation import register_aggregator
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.assignment import available_schemes, get_scheme, register_scheme
+from repro.assignment.base import AssignmentScheme
+from repro.assignment.mols import MOLSAssignment
+from repro.assignment.registry import create_scheme
+from repro.attacks import available_attacks, create_attack, get_attack, register_attack
+from repro.attacks.constant import ConstantAttack
+from repro.exceptions import ConfigurationError
+
+
+def test_builtin_schemes_registered():
+    names = available_schemes()
+    for expected in ("mols", "ramanujan", "frc", "baseline", "random"):
+        assert expected in names
+
+
+def test_get_and_create_scheme():
+    assert get_scheme("MOLS") is MOLSAssignment
+    scheme = create_scheme("mols", load=5, replication=3)
+    assert scheme.assignment.num_workers == 15
+
+
+def test_unknown_scheme_raises():
+    with pytest.raises(ConfigurationError):
+        get_scheme("does-not-exist")
+
+
+def test_register_scheme_duplicate_and_overwrite():
+    class Dummy(MOLSAssignment):
+        scheme_name = "dummy"
+
+    register_scheme("dummy-scheme-test", Dummy)
+    with pytest.raises(ConfigurationError):
+        register_scheme("dummy-scheme-test", Dummy)
+    register_scheme("dummy-scheme-test", Dummy, overwrite=True)
+    assert get_scheme("dummy-scheme-test") is Dummy
+
+
+def test_register_scheme_rejects_non_scheme():
+    with pytest.raises(ConfigurationError):
+        register_scheme("not-a-scheme", dict)  # type: ignore[arg-type]
+
+
+def test_builtin_aggregators_registered():
+    names = available_aggregators()
+    for expected in (
+        "mean",
+        "median",
+        "trimmed_mean",
+        "median_of_means",
+        "krum",
+        "multi_krum",
+        "bulyan",
+        "geometric_median",
+        "signsgd",
+        "auror",
+    ):
+        assert expected in names
+
+
+def test_create_aggregator_with_kwargs():
+    aggregator = create_aggregator("trimmed_mean", trim=1)
+    assert aggregator.trim == 1
+    assert isinstance(create_aggregator("median"), CoordinateWiseMedian)
+
+
+def test_unknown_aggregator_raises():
+    with pytest.raises(ConfigurationError):
+        get_aggregator("nope")
+
+
+def test_register_aggregator_rejects_non_aggregator():
+    with pytest.raises(ConfigurationError):
+        register_aggregator("bad", int)  # type: ignore[arg-type]
+
+
+def test_builtin_attacks_registered():
+    names = available_attacks()
+    for expected in ("alie", "constant", "reversed_gradient", "gaussian_noise", "uniform_random"):
+        assert expected in names
+
+
+def test_create_attack_with_kwargs():
+    attack = create_attack("constant", value=-2.5)
+    assert isinstance(attack, ConstantAttack)
+    assert attack.value == -2.5
+
+
+def test_unknown_attack_raises():
+    with pytest.raises(ConfigurationError):
+        get_attack("nope")
+
+
+def test_register_attack_rejects_non_attack():
+    with pytest.raises(ConfigurationError):
+        register_attack("bad", str)  # type: ignore[arg-type]

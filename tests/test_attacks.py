@@ -1,0 +1,172 @@
+"""Tests for the attack payloads (ALIE, constant, reversed gradient, noise)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.alie import ALIEAttack, alie_z_max
+from repro.attacks.base import AttackContext
+from repro.attacks.constant import ConstantAttack
+from repro.attacks.noise import GaussianNoiseAttack, UniformRandomAttack
+from repro.attacks.reversed_gradient import ReversedGradientAttack
+from repro.exceptions import AttackError
+
+
+DIM = 6
+
+
+def make_context(assignment, byzantine, seed=0, gradient_scale=1.0):
+    rng = np.random.default_rng(seed)
+    honest = {
+        i: gradient_scale * rng.standard_normal(DIM)
+        for i in range(assignment.num_files)
+    }
+    return AttackContext(
+        assignment=assignment,
+        byzantine_workers=tuple(byzantine),
+        honest_file_gradients=honest,
+        iteration=0,
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+def test_context_properties(mols_assignment):
+    context = make_context(mols_assignment, (0, 5))
+    assert context.num_byzantine == 2
+    assert context.gradient_dim == DIM
+    assert context.stacked_honest_gradients().shape == (25, DIM)
+
+
+def test_context_without_gradients_raises(mols_assignment):
+    context = AttackContext(
+        assignment=mols_assignment, byzantine_workers=(0,), honest_file_gradients={}
+    )
+    with pytest.raises(AttackError):
+        _ = context.gradient_dim
+
+
+def test_apply_covers_all_byzantine_files(mols_assignment):
+    context = make_context(mols_assignment, (0, 5))
+    crafted = ReversedGradientAttack().apply(context)
+    expected_keys = {
+        (w, f) for w in (0, 5) for f in mols_assignment.files_of_worker(w)
+    }
+    assert set(crafted) == expected_keys
+
+
+def test_apply_empty_byzantine_set(mols_assignment):
+    context = make_context(mols_assignment, ())
+    assert ReversedGradientAttack().apply(context) == {}
+
+
+def test_reversed_gradient_payload(mols_assignment):
+    context = make_context(mols_assignment, (0,))
+    attack = ReversedGradientAttack(scale=10.0)
+    crafted = attack.apply(context)
+    for (worker, file), payload in crafted.items():
+        assert np.allclose(payload, -10.0 * context.honest_file_gradients[file])
+
+
+def test_reversed_gradient_validation():
+    with pytest.raises(AttackError):
+        ReversedGradientAttack(scale=0.0)
+    with pytest.raises(AttackError):
+        ReversedGradientAttack(scale=float("inf"))
+
+
+def test_constant_attack_payload(mols_assignment):
+    context = make_context(mols_assignment, (3,))
+    crafted = ConstantAttack(value=-2.0).apply(context)
+    for payload in crafted.values():
+        assert np.allclose(payload, -2.0)
+    with pytest.raises(AttackError):
+        ConstantAttack(value=float("nan"))
+
+
+def test_alie_z_max_values():
+    # With many voters and few Byzantines the deflection is moderate and positive.
+    z = alie_z_max(25, 3)
+    assert 0.0 < z < 3.0
+    # More Byzantines need fewer honest "supporters", so they can afford a
+    # larger deflection while still hiding inside the honest distribution.
+    assert alie_z_max(25, 11) >= alie_z_max(25, 3)
+    # Degenerate regimes fall back to safe values.
+    assert alie_z_max(4, 4) == 1.0
+    with pytest.raises(AttackError):
+        alie_z_max(0, 0)
+    with pytest.raises(AttackError):
+        alie_z_max(5, 9)
+
+
+def test_alie_payload_is_mean_shifted(mols_assignment):
+    context = make_context(mols_assignment, (0, 5), gradient_scale=2.0)
+    attack = ALIEAttack(z=1.5)
+    crafted = attack.apply(context)
+    honest = context.stacked_honest_gradients()
+    expected = honest.mean(axis=0) - 1.5 * honest.std(axis=0)
+    for payload in crafted.values():
+        assert np.allclose(payload, expected)
+
+
+def test_alie_positive_direction(mols_assignment):
+    context = make_context(mols_assignment, (0,))
+    attack = ALIEAttack(z=1.0, negative_direction=False)
+    crafted = attack.apply(context)
+    honest = context.stacked_honest_gradients()
+    expected = honest.mean(axis=0) + honest.std(axis=0)
+    assert np.allclose(next(iter(crafted.values())), expected)
+
+
+def test_alie_all_payloads_identical_collusion(mols_assignment):
+    context = make_context(mols_assignment, (0, 5, 10))
+    crafted = ALIEAttack().apply(context)
+    payloads = list(crafted.values())
+    for p in payloads[1:]:
+        assert np.array_equal(p, payloads[0])
+
+
+def test_alie_requires_prepare(mols_assignment):
+    context = make_context(mols_assignment, (0,))
+    attack = ALIEAttack()
+    with pytest.raises(AttackError):
+        attack.craft(context, 0, 0)
+
+
+def test_alie_invalid_z():
+    with pytest.raises(AttackError):
+        ALIEAttack(z=-1.0)
+
+
+def test_gaussian_noise_attack(mols_assignment):
+    context = make_context(mols_assignment, (0,))
+    crafted = GaussianNoiseAttack(sigma=5.0).apply(context)
+    payload = next(iter(crafted.values()))
+    assert payload.shape == (DIM,)
+    assert np.std(payload) > 0
+    with pytest.raises(AttackError):
+        GaussianNoiseAttack(sigma=0.0)
+
+
+def test_gaussian_noise_around_true_gradient(mols_assignment):
+    context = make_context(mols_assignment, (0,))
+    crafted = GaussianNoiseAttack(sigma=1e-6, around_true_gradient=True).apply(context)
+    for (worker, file), payload in crafted.items():
+        assert np.allclose(payload, context.honest_file_gradients[file], atol=1e-4)
+
+
+def test_uniform_random_attack(mols_assignment):
+    context = make_context(mols_assignment, (1,))
+    crafted = UniformRandomAttack(magnitude=2.0).apply(context)
+    for payload in crafted.values():
+        assert np.all(np.abs(payload) <= 2.0)
+    with pytest.raises(AttackError):
+        UniformRandomAttack(magnitude=-1.0)
+
+
+def test_attack_dimension_check(mols_assignment):
+    class BadAttack(ReversedGradientAttack):
+        def craft(self, context, worker, file):
+            return np.zeros(3)  # wrong dimension
+
+    context = make_context(mols_assignment, (0,))
+    with pytest.raises(AttackError):
+        BadAttack().apply(context)

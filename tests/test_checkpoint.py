@@ -1,0 +1,111 @@
+"""Tests for training checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.assignment.mols import MOLSAssignment
+from repro.cluster.server import ParameterServer
+from repro.core.pipelines import ByzShieldPipeline
+from repro.exceptions import TrainingError
+from repro.nn.optim import SGD
+from repro.training.checkpoint import (
+    load_checkpoint,
+    restore_history,
+    restore_server,
+    save_checkpoint,
+)
+from repro.training.history import IterationRecord, TrainingHistory
+
+
+def make_server(dim=40, momentum=0.9):
+    assignment = MOLSAssignment(load=5, replication=3).assignment
+    pipeline = ByzShieldPipeline(assignment, aggregator=CoordinateWiseMedian())
+    return ParameterServer(np.linspace(0, 1, dim), pipeline, SGD(0.1, momentum=momentum))
+
+
+def make_history():
+    history = TrainingHistory(label="demo")
+    history.append(IterationRecord(0, 1.0, 0.04, test_accuracy=0.5, test_loss=1.2, learning_rate=0.1))
+    history.append(IterationRecord(1, 0.8, 0.04, learning_rate=0.1))
+    return history
+
+
+def step_server(server, steps=3):
+    rng = np.random.default_rng(0)
+    for _ in range(steps):
+        gradient = rng.standard_normal(server.params.size)
+        server._params = server.optimizer.step_vector(server._params, gradient)
+        server.iteration += 1
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    server = make_server()
+    step_server(server)
+    history = make_history()
+    path = save_checkpoint(tmp_path / "ckpt", server, history)
+    assert path.suffix == ".npz"
+    assert path.exists() and path.with_suffix(".json").exists()
+
+    restored_server = make_server()
+    checkpoint = load_checkpoint(path)
+    restore_server(restored_server, checkpoint)
+    assert np.allclose(restored_server.params, server.params)
+    assert restored_server.iteration == server.iteration
+    assert restored_server.optimizer.iteration == server.optimizer.iteration
+    assert np.allclose(restored_server.optimizer._velocity, server.optimizer._velocity)
+
+    restored_history = restore_history(checkpoint)
+    assert restored_history.label == "demo"
+    assert len(restored_history) == 2
+    assert restored_history.records[0].test_accuracy == pytest.approx(0.5)
+    assert np.isnan(restored_history.records[1].test_accuracy)
+
+
+def test_checkpoint_without_history_or_momentum(tmp_path):
+    server = make_server(momentum=0.0)
+    step_server(server, steps=1)
+    path = save_checkpoint(tmp_path / "plain.npz", server)
+    checkpoint = load_checkpoint(path)
+    restored = make_server(momentum=0.0)
+    restore_server(restored, checkpoint)
+    assert np.allclose(restored.params, server.params)
+    assert restored.optimizer._velocity is None
+    assert len(restore_history(checkpoint)) == 0
+
+
+def test_restored_training_continues_identically(tmp_path):
+    """Stepping a restored server gives the same trajectory as never stopping."""
+    gradients = np.random.default_rng(7).standard_normal((4, 40))
+
+    continuous = make_server()
+    for gradient in gradients[:2]:
+        continuous._params = continuous.optimizer.step_vector(continuous._params, gradient)
+        continuous.iteration += 1
+    path = save_checkpoint(tmp_path / "mid", continuous)
+    for gradient in gradients[2:]:
+        continuous._params = continuous.optimizer.step_vector(continuous._params, gradient)
+        continuous.iteration += 1
+
+    resumed = make_server()
+    restore_server(resumed, load_checkpoint(path))
+    for gradient in gradients[2:]:
+        resumed._params = resumed.optimizer.step_vector(resumed._params, gradient)
+        resumed.iteration += 1
+    assert np.allclose(resumed.params, continuous.params)
+    assert resumed.iteration == continuous.iteration
+
+
+def test_checkpoint_error_paths(tmp_path):
+    with pytest.raises(TrainingError):
+        load_checkpoint(tmp_path / "missing.npz")
+    server = make_server()
+    path = save_checkpoint(tmp_path / "ok", server)
+    path.with_suffix(".json").unlink()
+    with pytest.raises(TrainingError):
+        load_checkpoint(path)
+
+    other_dim = make_server(dim=13)
+    fresh = save_checkpoint(tmp_path / "dim", other_dim)
+    with pytest.raises(TrainingError):
+        restore_server(make_server(dim=40), load_checkpoint(fresh))

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table3" in out
+    assert "fig12" in out
+
+
+def test_table_command(capsys):
+    assert main(["table", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "epsilon_byzshield" in out
+    assert "0.040" in out  # q=2 row of Table 3
+
+
+def test_table_command_with_method_and_csv(tmp_path, capsys):
+    csv_path = tmp_path / "table3.csv"
+    assert main(["--csv", str(csv_path), "table", "table3", "--method", "local_search"]) == 0
+    assert csv_path.exists()
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("q,c_max")
+
+
+def test_figure12_command(capsys):
+    assert main(["figure", "fig12"]) == 0
+    out = capsys.readouterr().out
+    assert "ByzShield" in out
+    assert "communication" in out
+
+
+def test_figure_accuracy_command_tiny(capsys, tmp_path):
+    csv_path = tmp_path / "fig9.csv"
+    assert main(["--csv", str(csv_path), "figure", "fig9", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "ByzShield, q=2" in out
+    assert csv_path.exists()
+
+
+def test_bounds_command(capsys):
+    assert main(["bounds"]) == 0
+    out = capsys.readouterr().out
+    assert "Claim 2" in out
+    assert "gamma" in out
+
+
+def test_distortion_command_mols(capsys):
+    assert main(["distortion", "--scheme", "mols", "--load", "5", "--replication", "3", "--q", "2", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "mols(l=5,r=3)" in out
+
+
+def test_distortion_command_frc(capsys):
+    assert main(
+        ["distortion", "--scheme", "frc", "--num-workers", "15", "--replication", "3", "--q", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "frc" in out
+
+
+def test_distortion_command_baseline_and_random(capsys):
+    assert main(["distortion", "--scheme", "baseline", "--num-workers", "10", "--q", "2"]) == 0
+    assert main(
+        [
+            "distortion",
+            "--scheme",
+            "random",
+            "--num-workers",
+            "15",
+            "--num-files",
+            "25",
+            "--replication",
+            "3",
+            "--q",
+            "3",
+        ]
+    ) == 0
+
+
+def test_distortion_command_ramanujan(capsys):
+    assert main(["distortion", "--scheme", "ramanujan", "--m", "5", "--s", "5", "--q", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ramanujan" in out
+
+
+def test_error_exit_code(capsys):
+    # FRC with K not divisible by r is a configuration error -> exit code 1.
+    assert main(
+        ["distortion", "--scheme", "frc", "--num-workers", "16", "--replication", "3", "--q", "2"]
+    ) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_choice_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table", "table99"])

@@ -1,0 +1,214 @@
+"""Tests for the cluster simulation: worker pool, PS, round simulator, timing."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.assignment.frc import FRCAssignment
+from repro.assignment.mols import MOLSAssignment
+from repro.attacks.constant import ConstantAttack
+from repro.attacks.reversed_gradient import ReversedGradientAttack
+from repro.attacks.selection import FixedSelector, OmniscientSelector
+from repro.cluster.server import ParameterServer
+from repro.cluster.simulator import TrainingCluster
+from repro.cluster.timing import CostModel, estimate_iteration_timing
+from repro.cluster.worker import WorkerPool
+from repro.core.pipelines import ByzShieldPipeline
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn.optim import SGD
+
+
+DIM = 3
+
+
+def quadratic_gradient_fn(params, inputs, labels):
+    """Gradient of 0.5*||params - mean(inputs row-sum direction)||^2 — simple test oracle."""
+    target = np.full(DIM, float(inputs.sum()))
+    gradient = params - target
+    loss = 0.5 * float(np.sum(gradient**2))
+    return gradient, loss
+
+
+def make_file_data(num_files, samples_per_file=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        i: (rng.standard_normal((samples_per_file, 4)), rng.integers(0, 2, samples_per_file))
+        for i in range(num_files)
+    }
+
+
+# --------------------------------------------------------------------------- #
+# WorkerPool
+# --------------------------------------------------------------------------- #
+def test_worker_pool_computes_all_files(mols_assignment):
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    file_data = make_file_data(25)
+    gradients, losses = pool.compute_file_gradients(np.zeros(DIM), file_data)
+    assert set(gradients) == set(range(25))
+    assert all(g.shape == (DIM,) for g in gradients.values())
+    assert all(np.isfinite(v) for v in losses.values())
+
+
+def test_worker_pool_requires_complete_file_data(mols_assignment):
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    with pytest.raises(TrainingError):
+        pool.compute_file_gradients(np.zeros(DIM), make_file_data(24))
+
+
+def test_worker_pool_honest_returns_structure(mols_assignment):
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    file_votes, honest, losses = pool.honest_returns(np.zeros(DIM), make_file_data(25))
+    assert set(file_votes) == set(range(25))
+    for file_index, votes in file_votes.items():
+        assert set(votes) == set(mols_assignment.workers_of_file(file_index))
+        for gradient in votes.values():
+            assert np.array_equal(gradient, honest[file_index])
+
+
+def test_worker_pool_shared_vs_recomputed_identical(mols_assignment):
+    shared = WorkerPool(mols_assignment, quadratic_gradient_fn, shared_computation=True)
+    recomputed = WorkerPool(mols_assignment, quadratic_gradient_fn, shared_computation=False)
+    data = make_file_data(25)
+    votes_a, _, _ = shared.honest_returns(np.ones(DIM), data)
+    votes_b, _, _ = recomputed.honest_returns(np.ones(DIM), data)
+    for i in range(25):
+        for w in votes_a[i]:
+            assert np.allclose(votes_a[i][w], votes_b[i][w])
+
+
+# --------------------------------------------------------------------------- #
+# ParameterServer
+# --------------------------------------------------------------------------- #
+def test_parameter_server_update(mols_assignment):
+    pipeline = ByzShieldPipeline(mols_assignment, aggregator=CoordinateWiseMedian())
+    server = ParameterServer(np.zeros(DIM), pipeline, SGD(0.5))
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    file_votes, honest, _ = pool.honest_returns(server.broadcast(), make_file_data(25))
+    gradient = server.update(file_votes)
+    expected = np.median(np.vstack(list(honest.values())), axis=0)
+    assert np.allclose(gradient, expected)
+    assert np.allclose(server.params, -0.5 * expected)
+    assert server.iteration == 1
+
+
+def test_parameter_server_validation(mols_assignment):
+    pipeline = ByzShieldPipeline(mols_assignment)
+    with pytest.raises(TrainingError):
+        ParameterServer(np.zeros(0), pipeline, SGD(0.1))
+
+
+# --------------------------------------------------------------------------- #
+# TrainingCluster
+# --------------------------------------------------------------------------- #
+def test_cluster_round_without_attack(mols_assignment):
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    cluster = TrainingCluster(mols_assignment, pool)
+    result = cluster.run_round(np.zeros(DIM), make_file_data(25), iteration=0)
+    assert result.byzantine_workers == ()
+    assert result.distorted_files == ()
+    assert result.distortion_fraction == 0.0
+    assert len(result.messages) == 25 * 3
+    assert not any(m.is_byzantine for m in result.messages)
+    assert np.isfinite(result.mean_file_loss)
+
+
+def test_cluster_round_with_attack_marks_byzantine_messages(mols_assignment):
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    cluster = TrainingCluster(
+        mols_assignment,
+        pool,
+        attack=ConstantAttack(value=-9.0),
+        selector=FixedSelector([0, 5]),
+        seed=0,
+    )
+    result = cluster.run_round(np.zeros(DIM), make_file_data(25), iteration=0)
+    assert result.byzantine_workers == (0, 5)
+    # Workers 0 and 5 share exactly file 0: its majority flips.
+    assert result.distorted_files == (0,)
+    assert result.distortion_fraction == pytest.approx(1 / 25)
+    byzantine_messages = [m for m in result.messages if m.is_byzantine]
+    assert all(np.allclose(m.gradient, -9.0) for m in byzantine_messages)
+    assert len(byzantine_messages) == 10  # 2 workers x 5 files each
+
+
+def test_cluster_round_omniscient_matches_worst_case(mols_assignment):
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    cluster = TrainingCluster(
+        mols_assignment,
+        pool,
+        attack=ReversedGradientAttack(),
+        selector=OmniscientSelector(num_byzantine=3, method="exhaustive"),
+        seed=0,
+    )
+    result = cluster.run_round(np.ones(DIM), make_file_data(25), iteration=0)
+    assert len(result.distorted_files) == 3  # c_max for q=3 on this graph
+    assert result.distortion_fraction == pytest.approx(0.12)
+
+
+def test_cluster_round_deterministic_given_seed(mols_assignment):
+    def build():
+        pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+        return TrainingCluster(
+            mols_assignment,
+            pool,
+            attack=ConstantAttack(),
+            selector=FixedSelector([0]),
+            seed=11,
+        )
+
+    data = make_file_data(25)
+    a = build().run_round(np.zeros(DIM), data, iteration=2)
+    b = build().run_round(np.zeros(DIM), data, iteration=2)
+    for i in range(25):
+        for w in a.file_votes[i]:
+            assert np.array_equal(a.file_votes[i][w], b.file_votes[i][w])
+
+
+def test_cluster_requires_attack_and_selector_together(mols_assignment):
+    pool = WorkerPool(mols_assignment, quadratic_gradient_fn)
+    with pytest.raises(TrainingError):
+        TrainingCluster(mols_assignment, pool, attack=ConstantAttack(), selector=None)
+    with pytest.raises(TrainingError):
+        TrainingCluster(mols_assignment, pool, attack=None, selector=FixedSelector([0]))
+
+
+# --------------------------------------------------------------------------- #
+# Timing / cost model
+# --------------------------------------------------------------------------- #
+def test_timing_redundancy_costs_more_compute_and_communication():
+    from repro.assignment.baseline import BaselineAssignment
+
+    baseline = BaselineAssignment(25).assignment
+    byzshield = MOLSAssignment(load=5, replication=3).assignment
+    base = estimate_iteration_timing(baseline, 750, 10_000, "median", uses_majority_vote=False)
+    byz = estimate_iteration_timing(byzshield, 750, 10_000, "median", uses_majority_vote=True)
+    assert byz.computation > base.computation
+    assert byz.communication > base.communication
+    assert byz.aggregation > base.aggregation
+    assert byz.total > base.total
+    assert base.as_dict()["total"] == pytest.approx(base.total)
+
+
+def test_timing_detox_communication_less_than_byzshield():
+    byzshield = MOLSAssignment(load=5, replication=3).assignment
+    detox = FRCAssignment(num_workers=15, replication=3).assignment
+    byz = estimate_iteration_timing(byzshield, 750, 10_000, "median")
+    det = estimate_iteration_timing(detox, 750, 10_000, "median_of_means")
+    assert det.communication < byz.communication
+
+
+def test_timing_validation_and_cost_model():
+    byzshield = MOLSAssignment(load=5, replication=3).assignment
+    with pytest.raises(ConfigurationError):
+        estimate_iteration_timing(byzshield, 0, 100)
+    with pytest.raises(ConfigurationError):
+        CostModel(network_per_float=-1.0)
+    custom = CostModel(network_latency_per_message=0.0)
+    timing = estimate_iteration_timing(byzshield, 750, 1000, cost_model=custom)
+    assert timing.communication == pytest.approx(5 * 1000 * custom.network_per_float)
+
+
+def test_timing_unknown_aggregator_defaults():
+    byzshield = MOLSAssignment(load=5, replication=3).assignment
+    timing = estimate_iteration_timing(byzshield, 750, 1000, aggregator_name="mystery")
+    assert timing.aggregation > 0.0

@@ -1,0 +1,157 @@
+"""Tests for the gradient-compression extension (future-work direction)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    ErrorFeedback,
+    IdentityCompressor,
+    QuantizedCompressor,
+    RandomKCompressor,
+    SignCompressor,
+    TopKCompressor,
+)
+from repro.exceptions import ConfigurationError
+
+
+def gradient(seed=0, dim=256):
+    return np.random.default_rng(seed).standard_normal(dim)
+
+
+def test_identity_compressor_is_lossless():
+    g = gradient()
+    out = IdentityCompressor()(g)
+    assert np.array_equal(out.vector, g)
+    assert out.compression_ratio == pytest.approx(1.0)
+
+
+def test_empty_gradient_rejected():
+    with pytest.raises(ConfigurationError):
+        SignCompressor()(np.zeros(0))
+
+
+def test_sign_compressor_properties():
+    g = gradient()
+    out = SignCompressor()(g)
+    # Reconstruction has the right signs and a single magnitude.
+    assert np.array_equal(np.sign(out.vector), np.sign(g))
+    magnitudes = np.unique(np.abs(out.vector))
+    assert magnitudes.size == 1
+    assert magnitudes[0] == pytest.approx(np.abs(g).mean())
+    # Roughly 64x fewer bits than dense float64.
+    assert out.compression_ratio > 30
+
+
+def test_topk_keeps_largest_coordinates():
+    g = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+    out = TopKCompressor(fraction=0.4)(g)
+    assert np.count_nonzero(out.vector) == 2
+    assert out.vector[1] == -5.0 and out.vector[3] == 3.0
+    assert out.compression_ratio > 1.0
+
+
+def test_topk_fraction_validation():
+    with pytest.raises(ConfigurationError):
+        TopKCompressor(fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        TopKCompressor(fraction=1.5)
+
+
+def test_topk_always_keeps_at_least_one():
+    out = TopKCompressor(fraction=0.001)(gradient(dim=10))
+    assert np.count_nonzero(out.vector) == 1
+
+
+def test_randomk_is_unbiased_in_expectation():
+    g = gradient(seed=1, dim=64)
+    compressor = RandomKCompressor(fraction=0.25, seed=0)
+    estimates = np.mean([compressor(g).vector for _ in range(3000)], axis=0)
+    # The estimator is unbiased; with 3000 deterministic draws the Monte-Carlo
+    # error per coordinate is ~0.1, so check both the worst coordinate and the
+    # average deviation.
+    assert np.max(np.abs(estimates - g)) < 0.4
+    assert np.mean(np.abs(estimates - g)) < 0.1
+
+
+def test_randomk_sparsity_and_validation():
+    out = RandomKCompressor(fraction=0.25, seed=0)(gradient(dim=100))
+    assert np.count_nonzero(out.vector) == 25
+    with pytest.raises(ConfigurationError):
+        RandomKCompressor(fraction=-0.1)
+
+
+def test_quantized_compressor_bounded_error_and_unbiasedness():
+    g = gradient(seed=2, dim=128)
+    compressor = QuantizedCompressor(bits_per_coordinate=8, seed=0)
+    out = compressor(g)
+    levels = 2**8 - 1
+    max_error = np.max(np.abs(g)) / levels
+    assert np.all(np.abs(out.vector - g) <= max_error + 1e-12)
+    # Stochastic rounding is unbiased.
+    mean_estimate = np.mean(
+        [QuantizedCompressor(bits_per_coordinate=2, seed=s)(g).vector for s in range(500)],
+        axis=0,
+    )
+    assert np.allclose(mean_estimate, g, atol=0.05 * np.max(np.abs(g)))
+
+
+def test_quantized_zero_gradient_and_validation():
+    out = QuantizedCompressor(bits_per_coordinate=4)(np.zeros(8))
+    assert np.array_equal(out.vector, np.zeros(8))
+    with pytest.raises(ConfigurationError):
+        QuantizedCompressor(bits_per_coordinate=0)
+    with pytest.raises(ConfigurationError):
+        QuantizedCompressor(bits_per_coordinate=32)
+
+
+def test_quantized_fewer_bits_than_dense():
+    out = QuantizedCompressor(bits_per_coordinate=4)(gradient())
+    assert out.compression_ratio > 10
+
+
+def test_error_feedback_accumulates_residual():
+    compressor = TopKCompressor(fraction=0.5)
+    feedback = ErrorFeedback(compressor)
+    g = np.array([1.0, 0.1, -2.0, 0.2])
+    first = feedback.compress("worker-0", g)
+    residual = feedback.residual("worker-0")
+    # The dropped coordinates live in the residual.
+    assert np.allclose(first.vector + residual, g)
+    # The residual is added back on the next round.
+    second = feedback.compress("worker-0", g)
+    assert np.allclose(
+        second.vector + feedback.residual("worker-0"), g + residual
+    )
+
+
+def test_error_feedback_per_sender_isolation_and_reset():
+    feedback = ErrorFeedback(SignCompressor())
+    feedback.compress("a", gradient(seed=3, dim=16))
+    assert feedback.residual("b") is None
+    feedback.compress("b", gradient(seed=4, dim=16))
+    assert feedback.residual("a") is not None
+    feedback.reset()
+    assert feedback.residual("a") is None
+
+
+def test_error_feedback_recovers_sign_sgd_convergence():
+    """EF-SGD sanity: compressed descent on a quadratic still converges."""
+    rng = np.random.default_rng(0)
+    target = rng.standard_normal(32)
+    x_plain = np.zeros(32)
+    x_ef = np.zeros(32)
+    feedback = ErrorFeedback(TopKCompressor(fraction=0.125))
+    for _ in range(400):
+        grad_plain = x_plain - target
+        x_plain -= 0.1 * TopKCompressor(fraction=0.125)(grad_plain).vector
+        grad_ef = x_ef - target
+        x_ef -= 0.1 * feedback.compress("w", grad_ef).vector
+    # With error feedback the iterate reaches the target; without it, top-k
+    # keeps ignoring the small coordinates and stalls further away.
+    assert np.linalg.norm(x_ef - target) < 0.05
+    assert np.linalg.norm(x_ef - target) <= np.linalg.norm(x_plain - target) + 1e-9
+
+
+def test_error_feedback_requires_compressor():
+    with pytest.raises(ConfigurationError):
+        ErrorFeedback("not a compressor")  # type: ignore[arg-type]

@@ -1,0 +1,169 @@
+"""Tests for the experiment generators (tables, figures, bounds, ablations, report)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.accuracy import (
+    SCALE_PRESETS,
+    available_figures,
+    figure_spec,
+    run_accuracy_figure,
+)
+from repro.experiments.bounds import bound_tightness_table, claim2_verification_table
+from repro.experiments.paper_reference import TABLE3, TABLE4, TABLE5, TABLE6
+from repro.experiments.report import format_rows, format_series, rows_to_csv
+from repro.experiments.tables import generate_table3, generate_table6
+from repro.experiments.timing import generate_figure12
+from repro.exceptions import ConfigurationError
+
+
+# --------------------------------------------------------------------------- #
+# Tables
+# --------------------------------------------------------------------------- #
+def test_generate_table3_matches_paper():
+    rows = generate_table3()
+    assert [row["q"] for row in rows] == list(range(2, 8))
+    for row in rows:
+        c_max, eps, eps_base, eps_frc, gamma = TABLE3[row["q"]]
+        assert row["c_max"] == c_max
+        assert row["epsilon_byzshield"] == pytest.approx(eps, abs=0.005)
+        assert row["epsilon_frc"] == pytest.approx(eps_frc, abs=0.005)
+        assert row["gamma"] == pytest.approx(gamma, abs=0.01)
+        assert row["exact"]
+
+
+def test_generate_table6_small_q_matches_paper():
+    rows = generate_table6(method="local_search")
+    by_q = {row["q"]: row for row in rows}
+    # Heuristic values must match the paper for the small-q rows and never
+    # exceed the expansion bound anywhere.
+    for q in (2, 3, 4, 5):
+        assert by_q[q]["c_max"] == TABLE6[q][0]
+    for row in rows:
+        assert row["c_max"] <= row["gamma"] + 1e-9
+
+
+def test_paper_reference_tables_are_consistent():
+    """Published ε̂ equals published c_max / f for every row of every table."""
+    for table, f in ((TABLE3, 25), (TABLE4, 25), (TABLE5, 49), (TABLE6, 49)):
+        for q, (c_max, eps, _, _, gamma) in table.items():
+            assert eps == pytest.approx(c_max / f, abs=0.006)
+            assert c_max <= gamma + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Bounds
+# --------------------------------------------------------------------------- #
+def test_bound_tightness_table_default():
+    rows = bound_tightness_table(q_values=range(2, 6))
+    for row in rows:
+        assert row["bound_satisfied"]
+        assert row["gamma_over_f"] == pytest.approx(row["closed_form_epsilon_bound"], rel=1e-6)
+        assert row["epsilon"] <= row["gamma_over_f"] + 1e-9
+
+
+def test_claim2_verification_table():
+    rows = claim2_verification_table()
+    assert all(row["match"] for row in rows)
+    assert [row["q"] for row in rows] == [0, 1, 2, 3]
+
+
+# --------------------------------------------------------------------------- #
+# Accuracy figures
+# --------------------------------------------------------------------------- #
+def test_available_figures_and_specs():
+    figures = available_figures()
+    for expected in ("fig2", "fig5", "fig8", "fig11"):
+        assert expected in figures
+    spec = figure_spec("fig2")
+    assert spec.cluster == "k25"
+    assert len(spec.runs) == 6
+    labels = [run.label for run in spec.runs]
+    assert "ByzShield, q=5" in labels
+    with pytest.raises(ConfigurationError):
+        figure_spec("fig99")
+
+
+def test_figure_specs_have_unique_labels():
+    for figure_id in available_figures():
+        labels = [run.label for run in figure_spec(figure_id).runs]
+        assert len(labels) == len(set(labels)), figure_id
+
+
+def test_run_accuracy_figure_tiny_subset():
+    histories = run_accuracy_figure(
+        "fig2", scale="tiny", seed=0, run_filter=["ByzShield, q=3", "Median, q=3"]
+    )
+    assert set(histories) == {"ByzShield, q=3", "Median, q=3"}
+    for history in histories.values():
+        assert len(history) == SCALE_PRESETS["tiny"].num_iterations
+        assert not np.isnan(history.final_accuracy)
+    # ByzShield's realized distortion is far below the baseline's q/K.
+    assert (
+        histories["ByzShield, q=3"].distortion_fractions.mean()
+        < histories["Median, q=3"].distortion_fractions.mean()
+    )
+
+
+def test_run_accuracy_figure_k15_cluster():
+    histories = run_accuracy_figure(
+        "fig9", scale="tiny", seed=0, run_filter=["ByzShield, q=2"]
+    )
+    history = histories["ByzShield, q=2"]
+    # MOLS (l=5, r=3) with q=2 corrupts exactly 1/25 of the files.
+    assert np.allclose(history.distortion_fractions, 1 / 25)
+
+
+def test_run_accuracy_figure_unknown_scale():
+    with pytest.raises(ConfigurationError):
+        run_accuracy_figure("fig2", scale="galactic")
+
+
+# --------------------------------------------------------------------------- #
+# Timing figure
+# --------------------------------------------------------------------------- #
+def test_generate_figure12_shape_and_ordering():
+    rows = generate_figure12(model_dim=100_000)
+    schemes = [row["scheme"] for row in rows]
+    assert schemes == ["Median", "ByzShield", "DETOX-MoM"]
+    by_scheme = {row["scheme"]: row for row in rows}
+    # ByzShield pays the largest communication and total cost (Figure 12 shape).
+    assert by_scheme["ByzShield"]["communication"] > by_scheme["Median"]["communication"]
+    assert by_scheme["ByzShield"]["communication"] > by_scheme["DETOX-MoM"]["communication"]
+    assert by_scheme["ByzShield"]["total"] > by_scheme["Median"]["total"]
+    # Redundancy schemes pay r x the baseline computation.
+    assert by_scheme["ByzShield"]["computation"] == pytest.approx(
+        5 * by_scheme["Median"]["computation"], rel=1e-6
+    )
+    assert by_scheme["DETOX-MoM"]["computation"] == pytest.approx(
+        by_scheme["ByzShield"]["computation"], rel=1e-6
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Report rendering
+# --------------------------------------------------------------------------- #
+def test_format_rows_and_csv():
+    rows = [{"q": 2, "eps": 0.04, "exact": True}, {"q": 3, "eps": 0.12, "exact": False}]
+    text = format_rows(rows, title="demo")
+    assert "demo" in text
+    assert "0.040" in text
+    assert "yes" in text and "no" in text
+    csv = rows_to_csv(rows)
+    assert csv.splitlines()[0] == "q,eps,exact"
+    assert len(csv.splitlines()) == 3
+    assert format_rows([]) == "(empty table)"
+    assert rows_to_csv([]) == ""
+
+
+def test_format_series():
+    series = {
+        "a": (np.array([1, 2]), np.array([0.5, 0.6])),
+        "b": (np.array([2]), np.array([0.4])),
+    }
+    text = format_series(series, title="accuracy")
+    assert "accuracy" in text
+    assert "iteration" in text
+    lines = text.splitlines()
+    assert len(lines) == 5  # title, header, separator, two iteration rows
+    assert format_series({}) == "(no series)"

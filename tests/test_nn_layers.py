@@ -1,0 +1,325 @@
+"""Tests for the NN layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    ResidualDenseBlock,
+    Tanh,
+)
+
+
+def numerical_input_gradient(layer, x, epsilon=1e-6):
+    """Central-difference gradient of sum(layer(x)) with respect to x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for idx in range(flat.size):
+        original = flat[idx]
+        flat[idx] = original + epsilon
+        plus = layer.forward(x.copy(), training=True).sum()
+        flat[idx] = original - epsilon
+        minus = layer.forward(x.copy(), training=True).sum()
+        flat[idx] = original
+        grad_flat[idx] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def analytic_input_gradient(layer, x):
+    out = layer.forward(x.copy(), training=True)
+    return layer.backward(np.ones_like(out))
+
+
+def numerical_param_gradient(layer, x, key, epsilon=1e-6):
+    param = layer.params[key]
+    grad = np.zeros_like(param)
+    flat = param.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for idx in range(flat.size):
+        original = flat[idx]
+        flat[idx] = original + epsilon
+        plus = layer.forward(x.copy(), training=True).sum()
+        flat[idx] = original - epsilon
+        minus = layer.forward(x.copy(), training=True).sum()
+        flat[idx] = original
+        grad_flat[idx] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+# --------------------------------------------------------------------------- #
+# Dense
+# --------------------------------------------------------------------------- #
+def test_dense_forward_shape_and_values():
+    layer = Dense(3, 2, rng=0)
+    layer.params["W"][...] = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    layer.params["b"][...] = np.array([0.5, -0.5])
+    out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+    assert np.allclose(out, [[4.5, 4.5]])
+
+
+def test_dense_gradients_match_numerical():
+    rng = np.random.default_rng(0)
+    layer = Dense(4, 3, rng=1)
+    x = rng.standard_normal((5, 4))
+    analytic = analytic_input_gradient(layer, x)
+    numeric = numerical_input_gradient(layer, x)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+    assert np.allclose(layer.grads["W"], numerical_param_gradient(layer, x, "W"), atol=1e-5)
+    assert np.allclose(layer.grads["b"], numerical_param_gradient(layer, x, "b"), atol=1e-5)
+
+
+def test_dense_without_bias():
+    layer = Dense(3, 2, rng=0, use_bias=False)
+    assert "b" not in layer.params
+    layer.forward(np.ones((1, 3)))
+    layer.backward(np.ones((1, 2)))
+    assert "b" not in layer.grads
+
+
+def test_dense_input_validation():
+    layer = Dense(3, 2, rng=0)
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.ones((2, 4)))
+    with pytest.raises(ConfigurationError):
+        Dense(0, 2)
+    fresh = Dense(3, 2, rng=0)
+    with pytest.raises(ConfigurationError):
+        fresh.backward(np.ones((1, 2)))
+
+
+def test_dense_num_parameters():
+    assert Dense(4, 3, rng=0).num_parameters() == 4 * 3 + 3
+
+
+# --------------------------------------------------------------------------- #
+# Activations and shape layers
+# --------------------------------------------------------------------------- #
+def test_relu_forward_backward():
+    layer = ReLU()
+    x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+    out = layer.forward(x)
+    assert np.allclose(out, [[0.0, 2.0], [3.0, 0.0]])
+    grad = layer.backward(np.ones_like(x))
+    assert np.allclose(grad, [[0.0, 1.0], [1.0, 0.0]])
+
+
+def test_tanh_gradient_matches_numerical():
+    rng = np.random.default_rng(1)
+    layer = Tanh()
+    x = rng.standard_normal((3, 4))
+    assert np.allclose(
+        analytic_input_gradient(layer, x), numerical_input_gradient(layer, x), atol=1e-6
+    )
+
+
+def test_flatten_roundtrip():
+    layer = Flatten()
+    x = np.arange(24, dtype=np.float64).reshape(2, 3, 2, 2)
+    out = layer.forward(x)
+    assert out.shape == (2, 12)
+    back = layer.backward(out)
+    assert back.shape == x.shape
+    assert np.allclose(back, x)
+
+
+def test_backward_before_forward_raises():
+    for layer in (ReLU(), Tanh(), Flatten(), MaxPool2D(2)):
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.ones((1, 2)))
+
+
+# --------------------------------------------------------------------------- #
+# Dropout
+# --------------------------------------------------------------------------- #
+def test_dropout_eval_mode_is_identity():
+    layer = Dropout(0.5, rng=0)
+    x = np.ones((4, 10))
+    assert np.allclose(layer.forward(x, training=False), x)
+
+
+def test_dropout_training_zeroes_and_rescales():
+    layer = Dropout(0.5, rng=0)
+    x = np.ones((200, 50))
+    out = layer.forward(x, training=True)
+    kept = out != 0.0
+    assert 0.3 < kept.mean() < 0.7
+    assert np.allclose(out[kept], 2.0)
+    grad = layer.backward(np.ones_like(x))
+    assert np.allclose(grad[~kept], 0.0)
+
+
+def test_dropout_rate_zero_is_identity():
+    layer = Dropout(0.0)
+    x = np.ones((3, 3))
+    assert np.allclose(layer.forward(x, training=True), x)
+    assert np.allclose(layer.backward(x), x)
+
+
+def test_dropout_validation():
+    with pytest.raises(ConfigurationError):
+        Dropout(1.0)
+    with pytest.raises(ConfigurationError):
+        Dropout(-0.1)
+
+
+# --------------------------------------------------------------------------- #
+# BatchNorm
+# --------------------------------------------------------------------------- #
+def test_batchnorm_normalizes_training_batch():
+    layer = BatchNorm(4)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((64, 4)) * 3.0 + 5.0
+    out = layer.forward(x, training=True)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+    assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_batchnorm_eval_uses_running_stats():
+    layer = BatchNorm(3, momentum=0.0)  # running stats = last batch stats
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((32, 3)) * 2.0 + 1.0
+    layer.forward(x, training=True)
+    out = layer.forward(x, training=False)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=0.1)
+
+
+def test_batchnorm_gradient_matches_numerical():
+    layer = BatchNorm(3)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((6, 3))
+    # Randomize gamma/beta so the test is not trivial.
+    layer.params["gamma"][...] = rng.uniform(0.5, 1.5, size=3)
+    layer.params["beta"][...] = rng.uniform(-0.5, 0.5, size=3)
+    analytic = analytic_input_gradient(layer, x)
+    numeric = numerical_input_gradient(layer, x)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+def test_batchnorm_4d_input():
+    layer = BatchNorm(2)
+    x = np.random.default_rng(3).standard_normal((4, 2, 3, 3))
+    out = layer.forward(x, training=True)
+    assert out.shape == x.shape
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_batchnorm_validation():
+    with pytest.raises(ConfigurationError):
+        BatchNorm(0)
+    layer = BatchNorm(3)
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.ones((2, 4)))
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.ones((2, 3, 4)))
+
+
+# --------------------------------------------------------------------------- #
+# Conv2D and MaxPool2D
+# --------------------------------------------------------------------------- #
+def test_conv2d_output_shape():
+    layer = Conv2D(3, 8, kernel_size=3, padding=1, rng=0)
+    x = np.random.default_rng(0).standard_normal((2, 3, 8, 8))
+    out = layer.forward(x)
+    assert out.shape == (2, 8, 8, 8)
+
+
+def test_conv2d_stride_and_no_padding_shape():
+    layer = Conv2D(1, 2, kernel_size=3, stride=2, padding=0, rng=0)
+    x = np.zeros((1, 1, 7, 7))
+    assert layer.forward(x).shape == (1, 2, 3, 3)
+
+
+def test_conv2d_matches_manual_convolution():
+    layer = Conv2D(1, 1, kernel_size=2, rng=0, use_bias=False)
+    layer.params["W"][...] = np.array([[[[1.0, 0.0], [0.0, -1.0]]]])
+    x = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+    out = layer.forward(x)
+    expected = np.array([[[[0 - 4, 1 - 5], [3 - 7, 4 - 8]]]], dtype=np.float64)
+    assert np.allclose(out, expected)
+
+
+def test_conv2d_gradients_match_numerical():
+    layer = Conv2D(2, 3, kernel_size=3, padding=1, rng=1)
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((2, 2, 4, 4))
+    analytic = analytic_input_gradient(layer, x)
+    numeric = numerical_input_gradient(layer, x)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+    assert np.allclose(
+        layer.grads["W"], numerical_param_gradient(layer, x, "W"), atol=1e-5
+    )
+    assert np.allclose(
+        layer.grads["b"], numerical_param_gradient(layer, x, "b"), atol=1e-5
+    )
+
+
+def test_conv2d_validation():
+    with pytest.raises(ConfigurationError):
+        Conv2D(0, 1, 3)
+    with pytest.raises(ConfigurationError):
+        Conv2D(1, 1, 3, padding=-1)
+    layer = Conv2D(2, 2, 3, rng=0)
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.ones((1, 3, 5, 5)))
+    with pytest.raises(ConfigurationError):
+        Conv2D(1, 1, 3, rng=0).backward(np.ones((1, 1, 3, 3)))
+
+
+def test_maxpool_forward_and_backward():
+    layer = MaxPool2D(2)
+    x = np.array(
+        [[[[1.0, 2.0, 5.0, 6.0], [3.0, 4.0, 7.0, 8.0], [0.0, 0.0, 1.0, 1.0], [0.0, 9.0, 1.0, 1.0]]]]
+    )
+    out = layer.forward(x)
+    assert np.allclose(out, [[[[4.0, 8.0], [9.0, 1.0]]]])
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    # Gradient flows only to the (possibly tied) maxima and sums to one per window.
+    assert grad[0, 0, 1, 1] == 1.0
+    assert grad[0, 0, 0, 0] == 0.0
+    window_sum = grad[0, 0, 2:, 2:].sum()
+    assert window_sum == pytest.approx(1.0)
+
+
+def test_maxpool_validation():
+    with pytest.raises(ConfigurationError):
+        MaxPool2D(0)
+    layer = MaxPool2D(2)
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.ones((1, 1, 3, 3)))  # not divisible
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.ones((3, 3)))
+
+
+# --------------------------------------------------------------------------- #
+# Residual block
+# --------------------------------------------------------------------------- #
+def test_residual_block_shapes_and_gradcheck():
+    layer = ResidualDenseBlock(5, rng=0)
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((4, 5))
+    out = layer.forward(x)
+    assert out.shape == (4, 5)
+    analytic = analytic_input_gradient(layer, x)
+    numeric = numerical_input_gradient(layer, x)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+def test_residual_block_parameter_plumbing():
+    layer = ResidualDenseBlock(4, rng=0)
+    assert layer.num_parameters() == 2 * (4 * 4 + 4)
+    layer.forward(np.ones((2, 4)))
+    layer.backward(np.ones((2, 4)))
+    names = [name for name, _ in layer.gradient_items()]
+    assert set(names) == {"dense1.W", "dense1.b", "dense2.W", "dense2.b"}
+    layer.zero_grads()
+    assert all(np.all(g == 0) for _, g in layer.gradient_items())

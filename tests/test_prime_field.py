@@ -1,0 +1,84 @@
+"""Tests for repro.fields.prime_field."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fields.prime_field import PrimeField
+
+
+def test_construction_requires_prime():
+    PrimeField(5)
+    PrimeField(2)
+    with pytest.raises(ConfigurationError):
+        PrimeField(6)
+    with pytest.raises(ConfigurationError):
+        PrimeField(1)
+
+
+def test_basic_arithmetic_mod_5():
+    field = PrimeField(5)
+    assert field.add(3, 4) == 2
+    assert field.sub(1, 3) == 3
+    assert field.mul(3, 4) == 2
+    assert field.neg(2) == 3
+    assert field.element(12) == 2
+
+
+def test_vectorized_arithmetic():
+    field = PrimeField(7)
+    a = np.arange(7)
+    assert np.array_equal(field.add(a, a), (2 * a) % 7)
+    assert np.array_equal(field.mul(a, 3), (3 * a) % 7)
+
+
+def test_inverse_and_division():
+    field = PrimeField(11)
+    for x in range(1, 11):
+        assert field.mul(x, field.inv(x)) == 1
+    assert field.div(6, 3) == field.mul(6, field.inv(3))
+
+
+def test_inverse_of_zero_raises():
+    field = PrimeField(5)
+    with pytest.raises(ZeroDivisionError):
+        field.inv(0)
+    with pytest.raises(ZeroDivisionError):
+        field.inv(np.array([1, 0, 2]))
+
+
+def test_vectorized_inverse():
+    field = PrimeField(13)
+    values = np.arange(1, 13)
+    inverses = field.inv(values)
+    assert np.all(field.mul(values, inverses) == 1)
+
+
+def test_pow_matches_repeated_multiplication():
+    field = PrimeField(7)
+    assert field.pow(3, 0) == 1
+    assert field.pow(3, 4) == pow(3, 4, 7)
+    assert field.pow(3, -1) == field.inv(3)
+
+
+def test_solve_linear_2x2_unique_solution():
+    field = PrimeField(5)
+    # i + j = 4, 2i + j = 1  =>  i = 2 (since 2i - i = 1 - 4 = -3 = 2), j = 2
+    i, j = field.solve_linear_2x2(1, 1, 2, 1, 4, 1)
+    assert (field.add(i, j), field.add(field.mul(2, i), j)) == (4, 1)
+
+
+def test_solve_linear_2x2_singular_raises():
+    field = PrimeField(5)
+    with pytest.raises(ConfigurationError):
+        field.solve_linear_2x2(1, 1, 2, 2, 0, 1)
+
+
+def test_elements_len_contains_eq_hash():
+    field = PrimeField(5)
+    assert np.array_equal(field.elements(), np.arange(5))
+    assert len(field) == 5
+    assert 4 in field and 5 not in field
+    assert field == PrimeField(5)
+    assert field != PrimeField(7)
+    assert hash(field) == hash(PrimeField(5))

@@ -1,0 +1,190 @@
+"""Benchmark regression harness for the aggregation hot paths.
+
+Runs the micro kernels that dominate the round data path, writes a
+``benchmarks/results/BENCH_<date>.json`` snapshot (best-of-N seconds and
+ops/second per kernel) and compares against the most recent previous
+snapshot with a configurable tolerance — failing loudly when a kernel got
+slower.  This seeds the repo's performance trajectory: every PR that touches
+the round engine should leave a snapshot behind.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py             # full run + compare
+    PYTHONPATH=src python benchmarks/regression.py --smoke     # quick CI sanity run
+    PYTHONPATH=src python benchmarks/regression.py --tolerance 0.5 --no-fail
+
+Timing protocol: every kernel is repeated ``--rounds`` times and the *minimum*
+wall time is reported (robust to background load), so snapshots from the same
+machine are comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.aggregation.bulyan import BulyanAggregator
+from repro.aggregation.krum import MultiKrumAggregator
+from repro.aggregation.majority import (
+    _reference_exact_majority,
+    majority_vote_tensor,
+)
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.assignment.ramanujan import RamanujanAssignment
+from repro.core.pipelines import ByzShieldPipeline
+from repro.core.vote_tensor import VoteTensor
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def make_round_tensor(num_files=25, replication=5, dim=10_000, corrupted=(0, 10, 20)):
+    rng = np.random.default_rng(7)
+    honest = rng.standard_normal((num_files, dim))
+    values = np.repeat(honest[:, None, :], replication, axis=1)
+    payload = rng.standard_normal(dim)
+    for i in corrupted:
+        values[i, :2] = payload
+    return values
+
+
+def build_kernels() -> dict:
+    """Name -> zero-argument callable for every benchmarked kernel."""
+    rng = np.random.default_rng(0)
+    votes = rng.standard_normal((25, 20_000))
+    round_tensor = make_round_tensor()
+    median = CoordinateWiseMedian()
+    krum = MultiKrumAggregator(num_byzantine=5)
+    bulyan = BulyanAggregator(num_byzantine=5)
+
+    # End-to-end pipeline aggregate at the paper's K=25 Ramanujan scale
+    # (m=s=5: f=25 files, r=5 replicas).
+    assignment = RamanujanAssignment(m=5, s=5).assignment
+    pipeline = ByzShieldPipeline(assignment, validate=False)
+    pipeline_tensor = VoteTensor.from_honest(
+        assignment, np.random.default_rng(1).standard_normal((assignment.num_files, 10_000))
+    )
+    pipeline_votes = pipeline_tensor.to_file_votes()
+
+    return {
+        "majority_vote_tensor_exact_f25_r5_d10k": lambda: majority_vote_tensor(
+            round_tensor
+        ),
+        "majority_vote_tensor_tol_f25_r5_d10k": lambda: majority_vote_tensor(
+            round_tensor, 0.5
+        ),
+        "majority_vote_legacy_per_file_f25_r5_d10k": lambda: [
+            _reference_exact_majority(round_tensor[i])
+            for i in range(round_tensor.shape[0])
+        ],
+        "byzshield_aggregate_tensor_f25_r5_d10k": lambda: pipeline.aggregate_tensor(
+            pipeline_tensor
+        ),
+        "byzshield_aggregate_dict_f25_r5_d10k": lambda: pipeline.aggregate(
+            pipeline_votes
+        ),
+        "coordinate_median_25x20k": lambda: median(votes),
+        "multi_krum_25x20k": lambda: krum(votes),
+        "bulyan_25x20k": lambda: bulyan(votes),
+    }
+
+
+def time_kernel(fn, rounds: int) -> float:
+    fn()  # warm up allocations and caches
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def previous_snapshot(current: pathlib.Path) -> pathlib.Path | None:
+    snapshots = sorted(
+        p for p in RESULTS_DIR.glob("BENCH_*.json") if p != current
+    )
+    return snapshots[-1] if snapshots else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--rounds", type=int, default=30, help="timing repetitions per kernel"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional slowdown vs the previous snapshot",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick sanity run: few rounds, no snapshot written, no comparison",
+    )
+    parser.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="report regressions but exit 0 anyway",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=None, help="snapshot path override"
+    )
+    args = parser.parse_args(argv)
+
+    rounds = 3 if args.smoke else args.rounds
+    kernels = build_kernels()
+    results = {}
+    for name, fn in kernels.items():
+        best = time_kernel(fn, rounds)
+        results[name] = {"min_s": best, "ops_per_s": 1.0 / best}
+        print(f"{name:48s} {best * 1e3:9.3f} ms   {1.0 / best:10.1f} ops/s")
+
+    tensor = results["majority_vote_tensor_exact_f25_r5_d10k"]["min_s"]
+    legacy = results["majority_vote_legacy_per_file_f25_r5_d10k"]["min_s"]
+    print(f"\nvectorized majority vote speedup vs legacy loop: {legacy / tensor:.2f}x")
+
+    if args.smoke:
+        return 0
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    date = datetime.date.today().isoformat()
+    output = args.output or RESULTS_DIR / f"BENCH_{date}.json"
+    baseline_path = previous_snapshot(output)
+    output.write_text(
+        json.dumps({"date": date, "rounds": rounds, "kernels": results}, indent=2)
+        + "\n"
+    )
+    print(f"wrote {output}")
+
+    if baseline_path is None:
+        print("no previous snapshot; baseline established")
+        return 0
+    baseline = json.loads(baseline_path.read_text())["kernels"]
+    print(f"comparing against {baseline_path.name} (tolerance {args.tolerance:.0%})")
+    regressions = []
+    for name, entry in results.items():
+        if name not in baseline:
+            continue
+        before, after = baseline[name]["min_s"], entry["min_s"]
+        change = after / before - 1.0
+        marker = ""
+        if change > args.tolerance:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, change))
+        print(f"{name:48s} {change:+7.1%}{marker}")
+    if regressions and not args.no_fail:
+        print(f"\n{len(regressions)} kernel(s) regressed beyond tolerance")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ from repro.core import (
     DracoPipeline,
     DistortionResult,
     VanillaPipeline,
+    VoteTensor,
     max_distortion,
     distortion_comparison_table,
 )
@@ -108,6 +109,7 @@ __all__ = [
     "DetoxPipeline",
     "DracoPipeline",
     "VanillaPipeline",
+    "VoteTensor",
     "DistortionResult",
     "max_distortion",
     "distortion_comparison_table",

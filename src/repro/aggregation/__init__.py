@@ -21,7 +21,11 @@ from repro.aggregation.bulyan import BulyanAggregator
 from repro.aggregation.geometric_median import GeometricMedianAggregator
 from repro.aggregation.sign_sgd import SignSGDMajorityAggregator
 from repro.aggregation.auror import AurorAggregator
-from repro.aggregation.majority import MajorityVote, majority_vote
+from repro.aggregation.majority import (
+    MajorityVote,
+    majority_vote,
+    majority_vote_tensor,
+)
 from repro.aggregation.registry import (
     available_aggregators,
     create_aggregator,
@@ -43,6 +47,7 @@ __all__ = [
     "AurorAggregator",
     "MajorityVote",
     "majority_vote",
+    "majority_vote_tensor",
     "available_aggregators",
     "create_aggregator",
     "get_aggregator",

@@ -5,7 +5,26 @@ appears the largest number of times.  Honest workers return bit-identical
 gradients for the same file (the simulator guarantees this, matching the
 paper's implementation note), so exact-equality voting suffices; a tolerance
 is supported for robustness against floating-point jitter, implemented by
-clustering votes whose distance is below the tolerance.
+greedy leader clustering of votes whose distance is below the tolerance.
+
+The module exposes two entry points backed by one vectorized kernel:
+
+* :func:`majority_vote_tensor` — votes all ``f`` files of a round at once
+  from an ``(f, r, d)`` tensor, without per-file Python loops.  Both voting
+  modes start from a shared bit-equality *label matrix*: one vectorized
+  anchor sweep comparing every slot to its file's slot 0 (which alone settles
+  a fully honest round), plus 64-bit positional hashing of the few slots that
+  mismatch their anchor, each group verified against its first member so a
+  hash collision can never corrupt the result.  Exact voting resolves
+  winners directly from the tiny ``(f, r)`` label matrix; tolerance voting
+  runs greedy leader clustering over the per-file *unique* values only
+  (typically one or two classes instead of ``r`` slots).
+* :func:`majority_vote` — the legacy single-file API, now a thin wrapper
+  over the tensor kernel on an ``(1, r, d)`` view.
+
+``_reference_exact_majority`` / ``_reference_clustered_majority`` keep the
+original pure-Python implementations; the equivalence tests and the benchmark
+regression harness use them as the semantic and performance baseline.
 """
 
 from __future__ import annotations
@@ -15,10 +34,26 @@ import numpy as np
 from repro.exceptions import AggregationError
 from repro.utils.arrays import stack_vectors
 
-__all__ = ["majority_vote", "MajorityVote"]
+__all__ = [
+    "majority_vote",
+    "majority_vote_tensor",
+    "MajorityVote",
+    "validate_tolerance",
+]
 
 
-def _exact_majority(matrix: np.ndarray) -> tuple[np.ndarray, int]:
+def validate_tolerance(tolerance: float) -> float:
+    """Single validation point for the voting tolerance (shared by all APIs)."""
+    if tolerance < 0:
+        raise AggregationError(f"tolerance must be non-negative, got {tolerance}")
+    return float(tolerance)
+
+
+# --------------------------------------------------------------------------- #
+# Reference (legacy) single-file implementations — kept as the baseline the
+# vectorized kernel is tested and benchmarked against.
+# --------------------------------------------------------------------------- #
+def _reference_exact_majority(matrix: np.ndarray) -> tuple[np.ndarray, int]:
     """Majority by exact byte equality; returns (winner, count)."""
     counts: dict[bytes, int] = {}
     first_index: dict[bytes, int] = {}
@@ -31,22 +66,21 @@ def _exact_majority(matrix: np.ndarray) -> tuple[np.ndarray, int]:
     return matrix[first_index[best_key]].copy(), counts[best_key]
 
 
-def _clustered_majority(matrix: np.ndarray, tolerance: float) -> tuple[np.ndarray, int]:
-    """Majority by tolerance clustering (union of within-`tolerance` votes)."""
+def _reference_clustered_majority(
+    matrix: np.ndarray, tolerance: float
+) -> tuple[np.ndarray, int]:
+    """Majority by greedy leader clustering (first within-`tolerance` cluster)."""
     n = matrix.shape[0]
-    assigned = np.full(n, -1, dtype=np.int64)
     clusters: list[list[int]] = []
     for idx in range(n):
         placed = False
-        for cid, members in enumerate(clusters):
+        for members in clusters:
             representative = matrix[members[0]]
             if np.linalg.norm(matrix[idx] - representative) <= tolerance:
                 members.append(idx)
-                assigned[idx] = cid
                 placed = True
                 break
         if not placed:
-            assigned[idx] = len(clusters)
             clusters.append([idx])
     sizes = [len(members) for members in clusters]
     winner = int(np.argmax(sizes))
@@ -54,9 +88,212 @@ def _clustered_majority(matrix: np.ndarray, tolerance: float) -> tuple[np.ndarra
     return matrix[members].mean(axis=0), len(members)
 
 
-def majority_vote(
-    votes, tolerance: float = 0.0
-) -> tuple[np.ndarray, int]:
+# --------------------------------------------------------------------------- #
+# Vectorized kernel
+# --------------------------------------------------------------------------- #
+#: cache of per-dimension positional hash weights (odd, so they are units
+#: modulo 2**64 and single-coordinate differences always change the hash)
+_HASH_WEIGHTS: dict[int, np.ndarray] = {}
+
+
+def _hash_weights(d: int) -> np.ndarray:
+    weights = _HASH_WEIGHTS.get(d)
+    if weights is None:
+        rng = np.random.default_rng(0xB125_517D)
+        weights = rng.integers(1, 2**63, size=d, dtype=np.uint64) | np.uint64(1)
+        _HASH_WEIGHTS[d] = weights
+    return weights
+
+
+def _bit_label_matrix(values: np.ndarray) -> np.ndarray:
+    """Label each (file, slot) by bit-exact content: ``labels[i, k]`` is the
+    smallest slot index of file ``i`` holding the same bytes as slot ``k``.
+
+    Equality is on raw bit patterns (a ``uint64`` view), matching the
+    reference's ``tobytes()`` semantics exactly: NaN payloads with equal bits
+    count as equal and ``-0.0 != +0.0``.  One vectorized anchor sweep
+    compares every slot to slot 0; the (typically few) mismatching slots are
+    grouped by a 64-bit positional hash, with every group member verified
+    against the group's first slot — a hash collision therefore never
+    corrupts the labels, it only demotes the affected files to a per-file
+    fallback.
+    """
+    f, r, d = values.shape
+    bits = np.ascontiguousarray(values).view(np.uint64)
+    labels = np.zeros((f, r), dtype=np.int64)
+    eq0 = (bits[:, 1:, :] == bits[:, :1, :]).all(axis=2)  # (f, r-1)
+    mism_file, mism_slot = np.nonzero(~eq0)
+    if mism_file.size == 0:  # honest round: everything matches its anchor
+        return labels
+    mism_slot = mism_slot + 1  # eq0 starts at slot 1
+    sub = bits[mism_file, mism_slot]  # (M, d) gather of the attacked slots
+    hashes = np.einsum("md,d->m", sub, _hash_weights(d))  # wraps mod 2**64
+    order = np.lexsort((hashes, mism_file))  # stable: slot-ascending in ties
+    sf, sh, ss = mism_file[order], hashes[order], mism_slot[order]
+    starts = np.empty(order.size, dtype=bool)
+    starts[0] = True
+    starts[1:] = (sf[1:] != sf[:-1]) | (sh[1:] != sh[:-1])
+    group = np.cumsum(starts) - 1  # group id of each sorted mismatch slot
+    first_of_group = np.nonzero(starts)[0]
+    member = ~starts  # slots that must be verified against their group anchor
+    verified = np.ones(order.size, dtype=bool)
+    if member.any():
+        anchor = order[first_of_group][group]  # M-index of each slot's anchor
+        verified[member] = (sub[order[member]] == sub[anchor[member]]).all(axis=1)
+    labels[sf, ss] = ss[first_of_group][group]  # anchor slot of each group
+    if not verified.all():
+        # 64-bit hash collision (adversarially crafted payloads): label the
+        # affected files one by one with tobytes() keys instead.
+        for i in np.unique(sf[~verified]):
+            seen: dict[bytes, int] = {}
+            for k in range(r):
+                labels[i, k] = seen.setdefault(values[i, k].tobytes(), k)
+    return labels
+
+
+def _class_sizes(labels: np.ndarray) -> np.ndarray:
+    """``sizes[i, s]``: members of file ``i``'s class anchored at slot ``s``."""
+    r = labels.shape[1]
+    return (labels[:, :, None] == np.arange(r)[None, None, :]).sum(axis=1)
+
+
+def _winners_from_slots(
+    values: np.ndarray, best_slot: np.ndarray
+) -> np.ndarray:
+    """Gather ``values[i, best_slot[i]]`` cheaply (slot 0 is the common case)."""
+    winners = values[:, 0, :].copy()
+    fix = np.nonzero(best_slot != 0)[0]
+    if fix.size:
+        winners[fix] = values[fix, best_slot[fix]]
+    return winners
+
+
+def _exact_majority_tensor(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exact-equality winners of every file: ``(f, d)`` winners, ``(f,)`` counts."""
+    f, r, d = values.shape
+    if r == 1:
+        return values[:, 0, :].copy(), np.ones(f, dtype=np.int64)
+    if d == 0:
+        return np.zeros((f, 0), dtype=np.float64), np.full(f, r, dtype=np.int64)
+    labels = _bit_label_matrix(values)
+    sizes = _class_sizes(labels)
+    # Lexicographic (count desc, anchor-slot asc): counts differ by >= 1
+    # which outweighs any slot difference (< r); empty classes score <= 0
+    # and real classes score >= 1, so non-anchors never win.
+    score = sizes * r - np.arange(r)[None, :]
+    best_slot = score.argmax(axis=1)
+    rows = np.arange(f)
+    return _winners_from_slots(values, best_slot), sizes[rows, best_slot]
+
+
+def _clustered_majority_tensor(
+    values: np.ndarray, tolerance: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy leader clustering of every file at once.
+
+    Replicates the reference semantics: scanning slots in order, a vote joins
+    the first existing cluster whose *leader* (first member) is within
+    ``tolerance``; otherwise it founds a new cluster.  Because bit-identical
+    slots always travel together (distance 0 to each other's leader), the
+    greedy scan runs over each file's *unique* values — the bit-equality
+    classes, typically one or two per file — instead of all ``r`` slots, and
+    distance checks batch over files.  The winner is the largest cluster
+    (earliest founded on ties) and its mean is taken over the original
+    member slots in slot order, bit-identical to the reference.
+    """
+    f, r, _ = values.shape
+    labels = _bit_label_matrix(values)
+    sizes = _class_sizes(labels)
+    is_anchor = labels == np.arange(r)[None, :]  # class representatives
+    # cluster_of[i, s]: cluster id (= leader's anchor slot) of the class
+    # anchored at slot s; -1 for non-anchor slots.
+    cluster_of = np.full((f, r), -1, dtype=np.int64)
+    cluster_of[:, 0] = 0
+    for k in range(1, r):
+        anchors_k = is_anchor[:, k]
+        if not anchors_k.any():
+            continue
+        unassigned = anchors_k.copy()
+        for j in range(k):
+            # Class k may join cluster j only where slot j leads a cluster.
+            candidate = unassigned & (cluster_of[:, j] == j)
+            idx = np.nonzero(candidate)[0]
+            if idx.size == 0:
+                continue
+            if idx.size * 4 < f:
+                # Sparse candidates: gather just those files instead of a
+                # full-width (f, d) pass.
+                diff = values[idx, k, :] - values[idx, j, :]
+                dist = np.sqrt(np.einsum("fd,fd->f", diff, diff))
+                joins_idx = idx[dist <= tolerance]
+            else:
+                diff = values[:, k, :] - values[:, j, :]
+                dist = np.sqrt(np.einsum("fd,fd->f", diff, diff))
+                joins_idx = idx[dist[idx] <= tolerance]
+            cluster_of[joins_idx, k] = j
+            unassigned[joins_idx] = False
+        cluster_of[unassigned, k] = k
+    # Member mask per slot: a slot belongs to the winning cluster iff its
+    # class's cluster is the winner.  Cluster sizes sum member class sizes.
+    cluster_sizes = np.zeros((f, r), dtype=np.int64)
+    rows = np.arange(f)
+    for s in range(r):
+        anchored = np.nonzero(cluster_of[:, s] >= 0)[0]
+        if anchored.size:
+            cluster_sizes[anchored, cluster_of[anchored, s]] += sizes[anchored, s]
+    # Earliest-founded cluster wins ties: founding order equals leader slot
+    # order, and empty clusters (size 0) never beat real ones.
+    win_score = cluster_sizes * r - np.arange(r)[None, :]
+    win = win_score.argmax(axis=1)
+    member = cluster_of[rows[:, None], labels] == win[:, None]  # (f, r) slots
+    counts = cluster_sizes[rows, win]
+    # Mean over the member slots in slot order.  Files whose winning cluster
+    # contains every slot (the common case) take the plain axis mean; the
+    # rest sum +0.0 for non-members, which is bit-identical to skipping them
+    # (IEEE x + 0.0 == x) while staying vectorized.
+    winners = values.mean(axis=1)
+    partial = np.nonzero(counts != r)[0]
+    if partial.size:
+        part_vals = values[partial]
+        part_member = member[partial]
+        totals = np.where(part_member[:, :, None], part_vals, 0.0).sum(axis=1)
+        winners[partial] = totals / counts[partial, None]
+    return winners, counts.astype(np.int64)
+
+
+def majority_vote_tensor(
+    values: np.ndarray, tolerance: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Majority-vote every file of a round in one vectorized pass.
+
+    Parameters
+    ----------
+    values:
+        ``(f, r, d)`` tensor of the returned gradients (``r`` votes per file).
+    tolerance:
+        Zero (default) selects exact byte-equality voting; a positive value
+        groups votes within Euclidean distance ``tolerance`` of a cluster
+        leader and returns the mean of each file's winning cluster.
+
+    Returns
+    -------
+    winners, counts:
+        ``(f, d)`` winning gradients and the ``(f,)`` vote counts they won by.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 3:
+        raise AggregationError(
+            f"vote tensor must be (f, r, d), got ndim={values.ndim}"
+        )
+    if values.shape[1] == 0:
+        raise AggregationError("majority vote needs at least one vote")
+    tolerance = validate_tolerance(tolerance)
+    if tolerance == 0.0:
+        return _exact_majority_tensor(values)
+    return _clustered_majority_tensor(values, tolerance)
+
+
+def majority_vote(votes, tolerance: float = 0.0) -> tuple[np.ndarray, int]:
     """Return ``(winning gradient, vote count)`` among the replicated copies.
 
     Parameters
@@ -73,20 +310,15 @@ def majority_vote(
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.shape[0] == 0:
         raise AggregationError("majority vote needs at least one vote")
-    if tolerance < 0:
-        raise AggregationError(f"tolerance must be non-negative, got {tolerance}")
-    if tolerance == 0.0:
-        return _exact_majority(matrix)
-    return _clustered_majority(matrix, tolerance)
+    winners, counts = majority_vote_tensor(matrix[None, :, :], tolerance=tolerance)
+    return winners[0], int(counts[0])
 
 
 class MajorityVote:
     """Callable wrapper around :func:`majority_vote` returning only the gradient."""
 
     def __init__(self, tolerance: float = 0.0) -> None:
-        if tolerance < 0:
-            raise AggregationError(f"tolerance must be non-negative, got {tolerance}")
-        self.tolerance = float(tolerance)
+        self.tolerance = validate_tolerance(tolerance)
 
     def __call__(self, votes) -> np.ndarray:
         winner, _ = majority_vote(votes, tolerance=self.tolerance)
@@ -95,6 +327,10 @@ class MajorityVote:
     def with_count(self, votes) -> tuple[np.ndarray, int]:
         """Return both the winning gradient and how many votes it received."""
         return majority_vote(votes, tolerance=self.tolerance)
+
+    def tensor(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vote all files of an ``(f, r, d)`` tensor at this tolerance."""
+        return majority_vote_tensor(values, tolerance=self.tolerance)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"MajorityVote(tolerance={self.tolerance})"

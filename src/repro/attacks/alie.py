@@ -93,3 +93,9 @@ class ALIEAttack(Attack):
         if self._crafted is None:
             raise AttackError("prepare() was not called before craft()")
         return self._crafted.copy()
+
+    def apply_tensor(self, context: AttackContext, tensor) -> None:
+        if context.num_byzantine == 0:
+            return
+        self.prepare(context)
+        tensor.values[tensor.byzantine_mask] = self._crafted

@@ -38,6 +38,10 @@ class AttackContext:
         Zero-based training iteration (attacks may vary over time).
     rng:
         Generator for stochastic attacks; seeded by the simulator.
+    honest_matrix:
+        Optional ``(f, d)`` stacked view of the honest gradients (file order).
+        Provided by the tensor round path so vectorized attacks avoid
+        re-stacking the per-file dict.
     """
 
     assignment: BipartiteAssignment
@@ -45,6 +49,7 @@ class AttackContext:
     honest_file_gradients: dict[int, np.ndarray]
     iteration: int = 0
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    honest_matrix: np.ndarray | None = None
 
     @property
     def num_byzantine(self) -> int:
@@ -59,7 +64,16 @@ class AttackContext:
         return int(next(iter(self.honest_file_gradients.values())).size)
 
     def stacked_honest_gradients(self) -> np.ndarray:
-        """All true file gradients stacked into an ``(f, d)`` matrix (file order)."""
+        """All true file gradients stacked into an ``(f, d)`` matrix (file order).
+
+        The result must be treated as read-only: on the tensor path it is a
+        view of the simulator's ground-truth matrix (enforced via the
+        writeable flag), so attacks must derive payloads into fresh arrays.
+        """
+        if self.honest_matrix is not None:
+            view = self.honest_matrix.view()
+            view.setflags(write=False)
+            return view
         files = sorted(self.honest_file_gradients)
         return np.vstack([self.honest_file_gradients[i].ravel() for i in files])
 
@@ -102,6 +116,21 @@ class Attack(abc.ABC):
                     )
                 crafted[(worker, file)] = vector
         return crafted
+
+    def apply_tensor(self, context: AttackContext, tensor) -> None:
+        """Write this iteration's adversarial payloads into a vote tensor.
+
+        ``tensor`` is a :class:`~repro.core.vote_tensor.VoteTensor` whose
+        ``byzantine_mask`` already marks the compromised slots.  The default
+        adapter delegates to the dict-based :meth:`apply` and scatters the
+        payloads, so every legacy attack works on the tensor path unchanged
+        (and bit-identically).  Attacks whose payloads are expressible as
+        tensor slices (constant, reversed gradient, ALIE) override this with
+        a vectorized write; stochastic attacks should only override it if
+        they can reproduce :meth:`apply`'s RNG consumption order exactly.
+        """
+        for (worker, file), payload in self.apply(context).items():
+            tensor.set_vote(file, worker, payload)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"

@@ -36,3 +36,8 @@ class ConstantAttack(Attack):
 
     def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
         return np.full(context.gradient_dim, self.value, dtype=np.float64)
+
+    def apply_tensor(self, context: AttackContext, tensor) -> None:
+        if context.num_byzantine == 0:
+            return
+        tensor.values[tensor.byzantine_mask] = self.value

@@ -37,3 +37,10 @@ class ReversedGradientAttack(Attack):
     def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
         true_gradient = context.honest_file_gradients[file]
         return -self.scale * true_gradient
+
+    def apply_tensor(self, context: AttackContext, tensor) -> None:
+        if context.num_byzantine == 0:
+            return
+        files, slots = np.nonzero(tensor.byzantine_mask)
+        honest = context.stacked_honest_gradients()
+        tensor.values[files, slots] = -self.scale * honest[files]

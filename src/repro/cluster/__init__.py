@@ -8,7 +8,7 @@ explicit cost model so the per-iteration time breakdown of Figure 12 can be
 reproduced.
 """
 
-from repro.cluster.messages import GradientMessage, RoundResult
+from repro.cluster.messages import GradientMessage, RoundResult, TensorRoundResult
 from repro.cluster.worker import WorkerPool
 from repro.cluster.server import ParameterServer
 from repro.cluster.simulator import TrainingCluster
@@ -17,6 +17,7 @@ from repro.cluster.timing import CostModel, IterationTiming, estimate_iteration_
 __all__ = [
     "GradientMessage",
     "RoundResult",
+    "TensorRoundResult",
     "WorkerPool",
     "ParameterServer",
     "TrainingCluster",

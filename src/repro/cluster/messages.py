@@ -6,7 +6,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["GradientMessage", "RoundResult"]
+from repro.core.vote_tensor import VoteTensor
+
+__all__ = ["GradientMessage", "RoundResult", "TensorRoundResult"]
 
 
 @dataclass(frozen=True)
@@ -65,3 +67,69 @@ class RoundResult:
         """Realized ``ε̂`` of the round (corrupted files / total files)."""
         total = len(self.file_votes)
         return len(self.distorted_files) / total if total else 0.0
+
+
+@dataclass
+class TensorRoundResult:
+    """One simulated round in the contiguous :class:`VoteTensor` representation.
+
+    This is the fast-path analogue of :class:`RoundResult`: instead of the
+    ``{file: {worker: gradient}}`` dict and a flat message list it carries the
+    packed ``(f, r, d)`` tensor, the ``(f, d)`` ground-truth matrix and the
+    ``(f,)`` loss vector.  :meth:`to_round_result` materializes the legacy
+    representation on demand (analysis, diagnostics, tests).
+
+    Attributes
+    ----------
+    vote_tensor:
+        The PS-side view of the returns (attacked slots already overwritten).
+    honest_matrix:
+        True per-file gradients stacked in file order (ground truth).
+    byzantine_workers:
+        The compromised workers of this round.
+    distorted_files:
+        Files whose majority vote is corrupted this round.
+    file_losses:
+        Per-file training loss (file order).
+    mean_file_loss:
+        Average training loss over the round's files.
+    """
+
+    vote_tensor: VoteTensor
+    honest_matrix: np.ndarray
+    byzantine_workers: tuple[int, ...]
+    distorted_files: tuple[int, ...]
+    file_losses: np.ndarray
+    mean_file_loss: float = float("nan")
+
+    @property
+    def distortion_fraction(self) -> float:
+        """Realized ``ε̂`` of the round (corrupted files / total files)."""
+        total = self.vote_tensor.num_files
+        return len(self.distorted_files) / total if total else 0.0
+
+    def to_round_result(self) -> RoundResult:
+        """Materialize the legacy dict-of-dicts :class:`RoundResult`."""
+        file_votes = self.vote_tensor.to_file_votes()
+        byzantine = set(self.byzantine_workers)
+        messages = [
+            GradientMessage(
+                worker=worker,
+                file=file_index,
+                gradient=gradient,
+                is_byzantine=worker in byzantine,
+            )
+            for file_index, votes in file_votes.items()
+            for worker, gradient in votes.items()
+        ]
+        honest = {
+            i: self.honest_matrix[i] for i in range(self.honest_matrix.shape[0])
+        }
+        return RoundResult(
+            file_votes=file_votes,
+            honest_file_gradients=honest,
+            byzantine_workers=self.byzantine_workers,
+            distorted_files=self.distorted_files,
+            messages=messages,
+            mean_file_loss=self.mean_file_loss,
+        )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.pipelines import AggregationPipeline, FileVotes
+from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import TrainingError
 from repro.nn.optim import SGD
 
@@ -57,12 +58,11 @@ class ParameterServer:
         """Run the aggregation pipeline without updating the model."""
         return self.pipeline.aggregate(file_votes)
 
-    def update(self, file_votes: FileVotes) -> np.ndarray:
-        """Aggregate the returns and take one optimizer step.
+    def aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        """Run the aggregation pipeline on the packed tensor (hot path)."""
+        return self.pipeline.aggregate_tensor(tensor)
 
-        Returns the aggregated gradient used for the update.
-        """
-        gradient = self.aggregate(file_votes)
+    def _apply_gradient(self, gradient: np.ndarray) -> np.ndarray:
         if gradient.shape != self._params.shape:
             raise TrainingError(
                 f"aggregated gradient has shape {gradient.shape}, expected "
@@ -71,3 +71,14 @@ class ParameterServer:
         self._params = self.optimizer.step_vector(self._params, gradient)
         self.iteration += 1
         return gradient
+
+    def update(self, file_votes: FileVotes) -> np.ndarray:
+        """Aggregate the returns and take one optimizer step.
+
+        Returns the aggregated gradient used for the update.
+        """
+        return self._apply_gradient(self.aggregate(file_votes))
+
+    def update_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        """Tensor analogue of :meth:`update` (same step, packed returns)."""
+        return self._apply_gradient(self.aggregate_tensor(tensor))

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
 from repro.attacks.selection import ByzantineSelector
-from repro.cluster.messages import GradientMessage, RoundResult
+from repro.cluster.messages import GradientMessage, RoundResult, TensorRoundResult
 from repro.cluster.worker import WorkerPool
 from repro.core.distortion import distorted_files
 from repro.exceptions import TrainingError
@@ -66,6 +66,20 @@ class TrainingCluster:
             return self._rng
         return as_generator(derive_seed(self._seed, "round", iteration))
 
+    def _select_byzantine(
+        self, iteration: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        """This round's compromised workers (empty when no attack is set)."""
+        if self.attack is None or self.selector is None:
+            return ()
+        return tuple(sorted(self.selector.select(self.assignment, iteration, rng)))
+
+    def _corrupted_files(self, byzantine: tuple[int, ...]) -> tuple[int, ...]:
+        """Files whose majority is corrupted by these Byzantine workers."""
+        if not byzantine:
+            return ()
+        return tuple(int(i) for i in distorted_files(self.assignment, byzantine))
+
     def run_round(
         self,
         params: np.ndarray,
@@ -86,11 +100,8 @@ class TrainingCluster:
         rng = self._round_rng(iteration)
         file_votes, honest, losses = self.worker_pool.honest_returns(params, file_data)
 
-        byzantine: tuple[int, ...] = ()
-        if self.attack is not None and self.selector is not None:
-            byzantine = tuple(
-                sorted(self.selector.select(self.assignment, iteration, rng))
-            )
+        byzantine = self._select_byzantine(iteration, rng)
+        if byzantine:
             context = AttackContext(
                 assignment=self.assignment,
                 byzantine_workers=byzantine,
@@ -111,15 +122,55 @@ class TrainingCluster:
             for file_index, votes in file_votes.items()
             for worker, gradient in votes.items()
         ]
-        corrupted = tuple(
-            int(i) for i in distorted_files(self.assignment, byzantine)
-        ) if byzantine else ()
         mean_loss = float(np.mean(list(losses.values()))) if losses else float("nan")
         return RoundResult(
             file_votes=file_votes,
             honest_file_gradients=honest,
             byzantine_workers=byzantine,
-            distorted_files=corrupted,
+            distorted_files=self._corrupted_files(byzantine),
             messages=messages,
+            mean_file_loss=mean_loss,
+        )
+
+    def run_round_tensor(
+        self,
+        params: np.ndarray,
+        file_data: dict[int, tuple[np.ndarray, np.ndarray]],
+        iteration: int,
+    ) -> TensorRoundResult:
+        """Tensor-path analogue of :meth:`run_round` (the trainer's hot path).
+
+        Produces the same round — bit-identical votes, same RNG consumption
+        order — packed as a :class:`~repro.core.vote_tensor.VoteTensor`
+        instead of the dict-of-dicts, skipping the per-edge Python loops of
+        the legacy representation.
+        """
+        rng = self._round_rng(iteration)
+        tensor, honest_matrix, losses = self.worker_pool.honest_returns_tensor(
+            params, file_data
+        )
+
+        byzantine = self._select_byzantine(iteration, rng)
+        if byzantine:
+            tensor.mark_byzantine(byzantine)
+            context = AttackContext(
+                assignment=self.assignment,
+                byzantine_workers=byzantine,
+                honest_file_gradients={
+                    i: honest_matrix[i] for i in range(honest_matrix.shape[0])
+                },
+                iteration=iteration,
+                rng=rng,
+                honest_matrix=honest_matrix,
+            )
+            self.attack.apply_tensor(context, tensor)
+
+        mean_loss = float(np.mean(losses)) if losses.size else float("nan")
+        return TensorRoundResult(
+            vote_tensor=tensor,
+            honest_matrix=honest_matrix,
+            byzantine_workers=byzantine,
+            distorted_files=self._corrupted_files(byzantine),
+            file_losses=losses,
             mean_file_loss=mean_loss,
         )

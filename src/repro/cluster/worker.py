@@ -6,6 +6,14 @@ bit-identical gradients (the paper relies on this for exact-equality majority
 voting), so the simulator computes each file gradient once and hands copies to
 the assigned workers — ``shared_computation=True`` — unless a test explicitly
 asks for per-worker recomputation.
+
+Two round representations are produced: the legacy ``file_votes``
+dict-of-dicts (:meth:`WorkerPool.honest_returns`) and the contiguous
+:class:`~repro.core.vote_tensor.VoteTensor`
+(:meth:`WorkerPool.honest_returns_tensor`), which computes all ``f`` file
+gradients into one ``(f, d)`` matrix — through the oracle's batched entry
+point when it provides one — and broadcasts it into the assigned slots
+without per-file Python loops.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import TrainingError
 from repro.graphs.bipartite import BipartiteAssignment
 
@@ -32,7 +41,9 @@ class WorkerPool:
         Worker/file assignment graph.
     gradient_fn:
         Oracle computing ``(flat gradient, loss)`` of the model on a file's
-        samples at the given parameters.
+        samples at the given parameters.  If the oracle exposes a ``batched``
+        method (see :meth:`ModelGradientComputer.batched`), the tensor path
+        uses it to compute all file gradients in one stacked call.
     shared_computation:
         Compute every file gradient once and share it among the file's
         workers (default, exploits determinism); when False every worker
@@ -49,24 +60,51 @@ class WorkerPool:
         self.gradient_fn = gradient_fn
         self.shared_computation = bool(shared_computation)
 
+    def _check_file_data(
+        self, file_data: dict[int, tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        if set(file_data) != set(range(self.assignment.num_files)):
+            raise TrainingError(
+                "file_data must provide data for every file of the assignment"
+            )
+
+    def compute_file_gradient_matrix(
+        self,
+        params: np.ndarray,
+        file_data: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """True gradients of every file stacked into an ``(f, d)`` matrix.
+
+        Returns ``(gradients, losses)`` with shapes ``(f, d)`` and ``(f,)``.
+        Dispatches to the oracle's ``batched`` entry point when available so
+        model-backed pools load the parameters once for the whole round.
+        """
+        self._check_file_data(file_data)
+        files = [file_data[i] for i in range(self.assignment.num_files)]
+        batched = getattr(self.gradient_fn, "batched", None)
+        if batched is not None:
+            return batched(params, files)
+        gradients: np.ndarray | None = None
+        losses = np.empty(len(files), dtype=np.float64)
+        for i, (inputs, labels) in enumerate(files):
+            gradient, loss = self.gradient_fn(params, inputs, labels)
+            vector = np.asarray(gradient, dtype=np.float64).ravel()
+            if gradients is None:
+                gradients = np.empty((len(files), vector.size), dtype=np.float64)
+            gradients[i] = vector
+            losses[i] = float(loss)
+        assert gradients is not None  # assignments always have >= 1 file
+        return gradients, losses
+
     def compute_file_gradients(
         self,
         params: np.ndarray,
         file_data: dict[int, tuple[np.ndarray, np.ndarray]],
     ) -> tuple[dict[int, np.ndarray], dict[int, float]]:
         """True gradient and loss of every file at the given parameters."""
-        if set(file_data) != set(range(self.assignment.num_files)):
-            raise TrainingError(
-                "file_data must provide data for every file of the assignment"
-            )
-        gradients: dict[int, np.ndarray] = {}
-        losses: dict[int, float] = {}
-        for file_index in range(self.assignment.num_files):
-            inputs, labels = file_data[file_index]
-            gradient, loss = self.gradient_fn(params, inputs, labels)
-            gradients[file_index] = np.asarray(gradient, dtype=np.float64).ravel()
-            losses[file_index] = float(loss)
-        return gradients, losses
+        matrix, losses = self.compute_file_gradient_matrix(params, file_data)
+        gradients = {i: matrix[i] for i in range(self.assignment.num_files)}
+        return gradients, {i: float(losses[i]) for i in range(len(losses))}
 
     def honest_returns(
         self,
@@ -91,3 +129,27 @@ class WorkerPool:
                     votes[worker] = np.asarray(gradient, dtype=np.float64).ravel()
             file_votes[file_index] = votes
         return file_votes, honest, losses
+
+    def honest_returns_tensor(
+        self,
+        params: np.ndarray,
+        file_data: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[VoteTensor, np.ndarray, np.ndarray]:
+        """Tensor analogue of :meth:`honest_returns`.
+
+        Returns ``(tensor, honest_matrix, file_losses)`` with the honest
+        gradients broadcast into every assigned ``(file, slot)`` of the
+        ``(f, r, d)`` tensor, the ``(f, d)`` ground-truth matrix and the
+        ``(f,)`` per-file losses.
+        """
+        if not self.shared_computation:
+            # Per-worker recomputation is a validation mode; route it through
+            # the dict path and pack the result.
+            file_votes, honest, losses = self.honest_returns(params, file_data)
+            f = self.assignment.num_files
+            matrix = np.vstack([honest[i] for i in range(f)])
+            loss_vector = np.array([losses[i] for i in range(f)], dtype=np.float64)
+            tensor = VoteTensor.from_file_votes(self.assignment, file_votes)
+            return tensor, matrix, loss_vector
+        matrix, losses = self.compute_file_gradient_matrix(params, file_data)
+        return VoteTensor.from_honest(self.assignment, matrix), matrix, losses

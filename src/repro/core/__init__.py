@@ -29,6 +29,7 @@ from repro.core.pipelines import (
     DracoPipeline,
     VanillaPipeline,
 )
+from repro.core.vote_tensor import VoteTensor
 
 __all__ = [
     "DistortionResult",
@@ -47,4 +48,5 @@ __all__ = [
     "DetoxPipeline",
     "DracoPipeline",
     "VanillaPipeline",
+    "VoteTensor",
 ]

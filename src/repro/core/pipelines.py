@@ -29,9 +29,10 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.aggregation.base import Aggregator
-from repro.aggregation.majority import MajorityVote
+from repro.aggregation.majority import MajorityVote, majority_vote_tensor
 from repro.aggregation.mean import MeanAggregator
 from repro.aggregation.median import CoordinateWiseMedian
+from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import AggregationError, ConfigurationError
 from repro.graphs.bipartite import BipartiteAssignment
 from repro.utils.arrays import stack_vectors
@@ -65,6 +66,19 @@ def _validate_file_votes(assignment: BipartiteAssignment, file_votes: FileVotes)
             )
 
 
+def _validate_vote_tensor(assignment: BipartiteAssignment, tensor: VoteTensor) -> None:
+    """Check the tensor's slot layout matches the assignment graph."""
+    expected = assignment.worker_slot_matrix()
+    if tensor.workers.shape != expected.shape or not np.array_equal(
+        tensor.workers, expected
+    ):
+        raise AggregationError(
+            f"vote tensor slot layout {tensor.workers.shape} does not match "
+            f"the assignment ({expected.shape[0]} files x {expected.shape[1]} "
+            "replicas)"
+        )
+
+
 class AggregationPipeline:
     """Base class: defines the pipeline interface and shared vote handling.
 
@@ -90,7 +104,20 @@ class AggregationPipeline:
             _validate_file_votes(self.assignment, file_votes)
         return self._aggregate(file_votes)
 
+    def aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        """Aggregate one iteration's returns from the packed tensor (hot path).
+
+        Produces a result bit-identical to :meth:`aggregate` on the
+        equivalent ``file_votes`` dict, without per-file Python loops.
+        """
+        if self.validate:
+            _validate_vote_tensor(self.assignment, tensor)
+        return self._aggregate_tensor(tensor)
+
     def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        raise NotImplementedError
+
+    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
         raise NotImplementedError
 
     # -- helpers -----------------------------------------------------------------
@@ -153,11 +180,22 @@ class ByzShieldPipeline(AggregationPipeline):
         voted = self._voted_file_gradients(file_votes, self.voter)
         return self.aggregator(voted)
 
+    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
+        return self.aggregator(winners)
+
     def voted_gradients(self, file_votes: FileVotes) -> np.ndarray:
         """Expose the post-vote ``(f, d)`` matrix (useful for analysis/tests)."""
         if self.validate:
             _validate_file_votes(self.assignment, file_votes)
         return self._voted_file_gradients(file_votes, self.voter)
+
+    def voted_gradients_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        """Tensor analogue of :meth:`voted_gradients`."""
+        if self.validate:
+            _validate_vote_tensor(self.assignment, tensor)
+        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
+        return winners
 
 
 class DetoxPipeline(AggregationPipeline):
@@ -199,6 +237,10 @@ class DetoxPipeline(AggregationPipeline):
         voted = self._voted_file_gradients(file_votes, self.voter)
         return self.aggregator(voted)
 
+    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
+        return self.aggregator(winners)
+
 
 class DracoPipeline(AggregationPipeline):
     """DRACO: FRC grouping with the information-theoretic ``r >= 2q + 1`` bound.
@@ -238,14 +280,22 @@ class DracoPipeline(AggregationPipeline):
         """True when ``r >= 2q + 1`` so exact recovery is guaranteed."""
         return self.assignment.replication >= 2 * self.num_byzantine + 1
 
-    def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+    def _check_applicable(self) -> None:
         if not self.is_applicable:
             raise AggregationError(
                 f"DRACO requires r >= 2q+1 (r={self.assignment.replication}, "
                 f"q={self.num_byzantine}); the scheme is not applicable"
             )
+
+    def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
+        self._check_applicable()
         voted = self._voted_file_gradients(file_votes, self.voter)
         return self._mean(voted)
+
+    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        self._check_applicable()
+        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
+        return self._mean(winners)
 
 
 class VanillaPipeline(AggregationPipeline):
@@ -273,3 +323,7 @@ class VanillaPipeline(AggregationPipeline):
             (worker,) = votes.keys()
             gradients.append(votes[worker])
         return self.aggregator(stack_vectors(gradients))
+
+    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+        # r == 1: slot 0 holds each file's single worker return.
+        return self.aggregator(tensor.values[:, 0, :])

@@ -1,0 +1,230 @@
+"""Contiguous round representation of the per-(worker, file) returns.
+
+The legacy round representation is ``file_votes``: a ``{file: {worker:
+gradient}}`` dict-of-dicts.  It is convenient for tests but forces every
+consumer — attacks, majority voting, the aggregation pipelines — into
+per-file Python loops.  :class:`VoteTensor` replaces it on the hot path with
+three contiguous arrays:
+
+* ``values`` — ``(f, r, d)`` float64: ``values[i, k]`` is the gradient
+  returned for file ``i`` by its ``k``-th assigned worker;
+* ``workers`` — ``(f, r)`` int64: ``workers[i, k]`` is that worker's index.
+  Every row is strictly increasing, matching the ``sorted(votes)`` order the
+  legacy pipelines iterate in, so the two representations aggregate
+  bit-identically;
+* ``byzantine_mask`` — ``(f, r)`` bool: simulator-side bookkeeping of which
+  slots hold adversarial payloads (the PS never reads it).
+
+Adapters (:meth:`VoteTensor.from_file_votes` / :meth:`VoteTensor.to_file_votes`)
+convert between the two representations so existing dict-based code keeps
+working while the trainer, simulator and benchmarks use the tensor path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import AggregationError, ConfigurationError
+from repro.graphs.bipartite import BipartiteAssignment
+
+__all__ = ["VoteTensor"]
+
+
+class VoteTensor:
+    """One round's worth of (worker, file) gradient returns, densely packed.
+
+    Parameters
+    ----------
+    values:
+        ``(f, r, d)`` float64 array of returned gradients.
+    workers:
+        ``(f, r)`` int64 matrix of the sending workers; rows must be strictly
+        increasing (slot order == ascending worker index).
+    byzantine_mask:
+        Optional ``(f, r)`` bool bookkeeping mask; defaults to all-honest.
+    """
+
+    __slots__ = ("values", "workers", "byzantine_mask")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        workers: np.ndarray,
+        byzantine_mask: np.ndarray | None = None,
+    ) -> None:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        workers = np.asarray(workers, dtype=np.int64)
+        if values.ndim != 3:
+            raise ConfigurationError(
+                f"vote tensor values must be (f, r, d), got ndim={values.ndim}"
+            )
+        if workers.shape != values.shape[:2]:
+            raise ConfigurationError(
+                f"workers matrix has shape {workers.shape}, expected "
+                f"{values.shape[:2]}"
+            )
+        if workers.shape[1] > 1 and not np.all(workers[:, 1:] > workers[:, :-1]):
+            raise ConfigurationError(
+                "workers matrix rows must be strictly increasing (slot order "
+                "is ascending worker index)"
+            )
+        if byzantine_mask is None:
+            byzantine_mask = np.zeros(workers.shape, dtype=bool)
+        else:
+            byzantine_mask = np.asarray(byzantine_mask, dtype=bool)
+            if byzantine_mask.shape != workers.shape:
+                raise ConfigurationError(
+                    f"byzantine mask has shape {byzantine_mask.shape}, "
+                    f"expected {workers.shape}"
+                )
+        self.values = values
+        self.workers = workers
+        self.byzantine_mask = byzantine_mask
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def num_files(self) -> int:
+        """Number of files ``f``."""
+        return int(self.values.shape[0])
+
+    @property
+    def replication(self) -> int:
+        """Votes per file ``r``."""
+        return int(self.values.shape[1])
+
+    @property
+    def dim(self) -> int:
+        """Gradient dimensionality ``d``."""
+        return int(self.values.shape[2])
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The ``(f, r, d)`` shape triple."""
+        return (self.num_files, self.replication, self.dim)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_honest(
+        cls, assignment: BipartiteAssignment, honest_matrix: np.ndarray
+    ) -> "VoteTensor":
+        """Broadcast the ``(f, d)`` honest gradients into every assigned slot.
+
+        This is what the worker pool produces before any attack runs: each of
+        file ``i``'s ``r`` workers returns a bit-identical copy of row ``i``.
+        """
+        matrix = np.asarray(honest_matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ConfigurationError(
+                f"honest matrix must be (f, d), got ndim={matrix.ndim}"
+            )
+        if matrix.shape[0] != assignment.num_files:
+            raise ConfigurationError(
+                f"honest matrix has {matrix.shape[0]} rows, assignment has "
+                f"{assignment.num_files} files"
+            )
+        workers = assignment.worker_slot_matrix()
+        values = np.repeat(matrix[:, None, :], workers.shape[1], axis=1)
+        return cls(values, workers)
+
+    @classmethod
+    def from_file_votes(
+        cls,
+        assignment: BipartiteAssignment,
+        file_votes: Mapping[int, Mapping[int, np.ndarray]],
+        byzantine_workers: tuple[int, ...] = (),
+    ) -> "VoteTensor":
+        """Pack a legacy ``{file: {worker: gradient}}`` dict into a tensor.
+
+        Validates the same invariants as the dict pipelines: every file of
+        the assignment is covered by exactly its assigned workers.
+        """
+        if len(file_votes) != assignment.num_files:
+            raise AggregationError(
+                f"expected votes for {assignment.num_files} files, got "
+                f"{len(file_votes)}"
+            )
+        workers = assignment.worker_slot_matrix()
+        f, r = workers.shape
+        values: np.ndarray | None = None
+        for i in range(f):
+            try:
+                votes = file_votes[i]
+            except KeyError:
+                raise AggregationError(f"missing votes for file {i}") from None
+            got = sorted(int(w) for w in votes)
+            if got != [int(w) for w in workers[i]]:
+                raise AggregationError(
+                    f"file {i}: votes came from workers {got} but the "
+                    f"assignment expects {[int(w) for w in workers[i]]}"
+                )
+            for k, w in enumerate(got):
+                vector = np.asarray(votes[w], dtype=np.float64).ravel()
+                if values is None:
+                    values = np.empty((f, r, vector.size), dtype=np.float64)
+                if vector.size != values.shape[2]:
+                    raise AggregationError(
+                        f"file {i}, worker {w}: vote has dimension "
+                        f"{vector.size}, expected {values.shape[2]}"
+                    )
+                values[i, k] = vector
+        assert values is not None  # f >= 1 is guaranteed by the assignment
+        tensor = cls(values, workers)
+        if byzantine_workers:
+            tensor.mark_byzantine(byzantine_workers)
+        return tensor
+
+    # -- adapters ------------------------------------------------------------
+    def to_file_votes(self, copy: bool = False) -> dict[int, dict[int, np.ndarray]]:
+        """Unpack into the legacy ``{file: {worker: gradient}}`` dict.
+
+        The returned gradients are views into ``values`` unless ``copy``.
+        """
+        out: dict[int, dict[int, np.ndarray]] = {}
+        for i in range(self.num_files):
+            row = self.values[i]
+            out[i] = {
+                int(self.workers[i, k]): (row[k].copy() if copy else row[k])
+                for k in range(self.replication)
+            }
+        return out
+
+    # -- mutation ------------------------------------------------------------
+    def slot_of(self, file: int, worker: int) -> int:
+        """Slot index ``k`` of ``worker`` in ``file``'s row (binary search)."""
+        row = self.workers[file]
+        k = int(np.searchsorted(row, worker))
+        if k >= row.size or row[k] != worker:
+            raise ConfigurationError(
+                f"worker {worker} is not assigned file {file}"
+            )
+        return k
+
+    def set_vote(self, file: int, worker: int, vector: np.ndarray) -> None:
+        """Overwrite the vote of ``(worker, file)`` — the attack scatter path."""
+        vec = np.asarray(vector, dtype=np.float64).ravel()
+        if vec.size != self.dim:
+            raise ConfigurationError(
+                f"vote has dimension {vec.size}, expected {self.dim}"
+            )
+        self.values[file, self.slot_of(file, worker)] = vec
+
+    def mark_byzantine(self, byzantine_workers) -> None:
+        """Set the bookkeeping mask to the slots owned by these workers."""
+        byz = np.asarray(sorted(int(w) for w in byzantine_workers), dtype=np.int64)
+        if byz.size == 0:
+            self.byzantine_mask[:] = False
+        else:
+            self.byzantine_mask[:] = np.isin(self.workers, byz)
+
+    # -- misc ----------------------------------------------------------------
+    def copy(self) -> "VoteTensor":
+        """Deep copy (values, workers view is shared — it is read-only)."""
+        return VoteTensor(
+            self.values.copy(), self.workers, self.byzantine_mask.copy()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        f, r, d = self.shape
+        return f"VoteTensor(f={f}, r={r}, d={d})"

@@ -84,6 +84,7 @@ class BipartiteAssignment:
             tuple(int(j) for j in np.nonzero(self._H[:, i])[0])
             for i in range(self.num_files)
         ]
+        self._worker_slot_matrix: np.ndarray | None = None
 
     # -- alternative constructors ------------------------------------------
     @classmethod
@@ -206,6 +207,22 @@ class BipartiteAssignment:
         if np.unique(idx).size != idx.size:
             raise ConfigurationError("worker set contains duplicates")
         return self._H[idx].sum(axis=0).astype(np.int64)
+
+    def worker_slot_matrix(self) -> np.ndarray:
+        """The ``(f, r)`` matrix whose row ``i`` lists ``workers_of_file(i)``.
+
+        Rows are in ascending worker order — the slot layout of the
+        :class:`~repro.core.vote_tensor.VoteTensor` round representation.
+        Requires right-regularity; the result is cached and read-only.
+        """
+        if self._worker_slot_matrix is None:
+            r = self.replication  # raises AssignmentError if not right-regular
+            matrix = np.empty((self.num_files, r), dtype=np.int64)
+            for i, workers in enumerate(self._workers_of_file):
+                matrix[i] = workers
+            matrix.setflags(write=False)
+            self._worker_slot_matrix = matrix
+        return self._worker_slot_matrix
 
     def shared_files(self, worker_a: int, worker_b: int) -> set[int]:
         """Files stored by both workers (intersection of their neighborhoods)."""

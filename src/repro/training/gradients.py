@@ -50,6 +50,47 @@ class ModelGradientComputer:
         value, gradient = self.model.loss_and_gradient(inputs, labels, self.loss)
         return gradient, value
 
+    def batched(self, params: np.ndarray, files) -> tuple[np.ndarray, np.ndarray]:
+        """Per-file gradients stacked along a leading axis.
+
+        Parameters
+        ----------
+        params:
+            Flat parameter vector, loaded into the model **once** for the
+            whole call (the legacy path reloads it per file).
+        files:
+            Either a sequence of ``(inputs, labels)`` pairs, or a pair of
+            stacked arrays ``(inputs, labels)`` with shapes ``(f, n, ...)``
+            and ``(f, n)`` — files along the leading axis.
+
+        Returns
+        -------
+        gradients, losses:
+            ``(f, d)`` float64 gradient matrix (one contiguous allocation)
+            and the ``(f,)`` per-file mean losses.  Each row is bit-identical
+            to what :meth:`__call__` returns for that file.
+        """
+        if (
+            isinstance(files, tuple)
+            and len(files) == 2
+            and isinstance(files[0], np.ndarray)
+        ):
+            files = list(zip(files[0], files[1]))
+        else:
+            files = list(files)
+        if len(files) == 0:
+            raise TrainingError("batched gradient computation needs >= 1 file")
+        self.model.set_flat_params(params)
+        gradients = np.empty((len(files), self.dim), dtype=np.float64)
+        losses = np.empty(len(files), dtype=np.float64)
+        for i, (inputs, labels) in enumerate(files):
+            if inputs.shape[0] == 0:
+                raise TrainingError("cannot compute a gradient on an empty file")
+            value, gradient = self.model.loss_and_gradient(inputs, labels, self.loss)
+            gradients[i] = gradient
+            losses[i] = float(value)
+        return gradients, losses
+
     def initial_params(self) -> np.ndarray:
         """The model's current parameters (used as ``w₀``)."""
         return self.model.get_flat_params()

@@ -50,6 +50,11 @@ class DistributedTrainer:
         Hyper-parameters (batch size, iterations, learning-rate schedule...).
     label:
         Name attached to the resulting history (used in experiment reports).
+    use_tensor_path:
+        Run each round through the contiguous
+        :class:`~repro.core.vote_tensor.VoteTensor` representation (default).
+        The legacy dict-of-dicts path produces bit-identical updates and is
+        kept for debugging and the equivalence tests.
     """
 
     def __init__(
@@ -61,6 +66,7 @@ class DistributedTrainer:
         test_dataset: Dataset,
         config: TrainingConfig,
         label: str = "run",
+        use_tensor_path: bool = True,
     ) -> None:
         assignment = cluster.assignment
         if config.batch_size % assignment.num_files != 0:
@@ -75,6 +81,7 @@ class DistributedTrainer:
         self.test_dataset = test_dataset
         self.config = config
         self.label = label
+        self.use_tensor_path = bool(use_tensor_path)
 
         schedule = StepDecaySchedule(
             config.learning_rate, config.lr_decay, config.lr_period
@@ -105,9 +112,13 @@ class DistributedTrainer:
         """Execute one synchronous iteration and return its metrics."""
         params = self.server.broadcast()
         file_data = self._file_data(self.sampler.next_batch())
-        round_result = self.cluster.run_round(params, file_data, iteration)
         learning_rate = self.server.optimizer.schedule.rate(self.server.optimizer.iteration)
-        self.server.update(round_result.file_votes)
+        if self.use_tensor_path:
+            round_result = self.cluster.run_round_tensor(params, file_data, iteration)
+            self.server.update_tensor(round_result.vote_tensor)
+        else:
+            round_result = self.cluster.run_round(params, file_data, iteration)
+            self.server.update(round_result.file_votes)
         return IterationRecord(
             iteration=iteration,
             train_loss=round_result.mean_file_loss,

@@ -1,0 +1,279 @@
+"""Equivalence property tests: the VoteTensor path vs the legacy dict path.
+
+The refactored round engine must be a pure data-layout change: for every
+assignment scheme, registered attack, tolerance and pipeline, the tensor path
+has to produce *bit-identical* votes and aggregates to the legacy
+dict-of-dicts path.  These tests pin that contract at three levels: the
+vectorized majority kernel vs the pure-Python reference implementations, one
+simulated round (``run_round`` vs ``run_round_tensor``), and a full training
+run (``use_tensor_path`` on vs off).
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import majority as majority_module
+from repro.aggregation.majority import majority_vote_tensor
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.assignment.baseline import BaselineAssignment
+from repro.assignment.frc import FRCAssignment
+from repro.assignment.mols import MOLSAssignment
+from repro.assignment.ramanujan import RamanujanAssignment
+from repro.attacks.registry import available_attacks, create_attack
+from repro.attacks.selection import FixedSelector, RandomSelector
+from repro.cluster.simulator import TrainingCluster
+from repro.cluster.worker import WorkerPool
+from repro.core.pipelines import (
+    ByzShieldPipeline,
+    DetoxPipeline,
+    DracoPipeline,
+    VanillaPipeline,
+)
+from repro.core.vote_tensor import VoteTensor
+
+DIM = 6
+
+
+def gradient_fn(params, inputs, labels):
+    """Deterministic per-file oracle: gradient depends on the file's data."""
+    target = np.full(DIM, float(inputs.sum()) / (1.0 + abs(float(labels.sum()))))
+    gradient = params - target
+    return gradient, 0.5 * float(np.sum(gradient**2))
+
+
+def make_file_data(num_files, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        i: (rng.standard_normal((3, 4)), rng.integers(0, 3, 3))
+        for i in range(num_files)
+    }
+
+
+SCHEMES = {
+    "mols": lambda: MOLSAssignment(load=5, replication=3).assignment,
+    "ramanujan": lambda: RamanujanAssignment(m=3, s=5).assignment,
+    "frc": lambda: FRCAssignment(num_workers=15, replication=3).assignment,
+    "baseline": lambda: BaselineAssignment(num_workers=10).assignment,
+}
+
+
+def pipelines_for(name, assignment, tolerance):
+    if name in ("mols", "ramanujan"):
+        return [ByzShieldPipeline(assignment, vote_tolerance=tolerance)]
+    if name == "frc":
+        return [
+            DetoxPipeline(assignment, vote_tolerance=tolerance),
+            DracoPipeline(assignment, num_byzantine=1, vote_tolerance=tolerance),
+        ]
+    return [VanillaPipeline(assignment, aggregator=CoordinateWiseMedian())]
+
+
+def run_both_paths(assignment, attack, selector, seed=11):
+    def build():
+        pool = WorkerPool(assignment, gradient_fn)
+        return TrainingCluster(
+            assignment, pool, attack=attack, selector=selector, seed=seed
+        )
+
+    data = make_file_data(assignment.num_files, seed=seed)
+    params = np.linspace(-1.0, 1.0, DIM)
+    legacy = build().run_round(params, data, iteration=2)
+    tensor = build().run_round_tensor(params, data, iteration=2)
+    return legacy, tensor
+
+
+# --------------------------------------------------------------------------- #
+# Kernel vs reference implementations
+# --------------------------------------------------------------------------- #
+def test_kernel_matches_reference_on_random_tensors():
+    rng = np.random.default_rng(42)
+    for trial in range(150):
+        f, r, d = rng.integers(1, 7), rng.integers(1, 7), rng.integers(1, 9)
+        values = rng.integers(-2, 3, (f, r, d)).astype(np.float64)
+        if trial % 2 == 0:  # plant replicated-copy structure
+            values[:, 1:] = values[:, :1]
+            for _ in range(rng.integers(0, 5)):
+                i, a, b = rng.integers(f), rng.integers(r), rng.integers(r)
+                values[i, a] = values[i, b] + rng.integers(0, 2)
+        for tolerance in (0.0, 1.5):
+            winners, counts = majority_vote_tensor(values, tolerance)
+            for i in range(f):
+                if tolerance == 0.0:
+                    ref_w, ref_c = majority_module._reference_exact_majority(
+                        values[i]
+                    )
+                else:
+                    ref_w, ref_c = majority_module._reference_clustered_majority(
+                        values[i], tolerance
+                    )
+                assert np.array_equal(winners[i], ref_w), (trial, tolerance, i)
+                assert counts[i] == ref_c, (trial, tolerance, i)
+
+
+def test_kernel_survives_hash_collisions(monkeypatch):
+    """Degenerate hash weights force every slot into one hash bucket; the
+    verification step must detect it and fall back without changing results."""
+    d = 5
+    monkeypatch.setitem(
+        majority_module._HASH_WEIGHTS, d, np.zeros(d, dtype=np.uint64)
+    )
+    rng = np.random.default_rng(3)
+    for _ in range(60):
+        f, r = rng.integers(1, 6), rng.integers(2, 7)
+        values = rng.integers(-1, 2, (f, r, d)).astype(np.float64)
+        for tolerance in (0.0, 1.2):
+            winners, counts = majority_vote_tensor(values, tolerance)
+            for i in range(f):
+                if tolerance == 0.0:
+                    ref_w, ref_c = majority_module._reference_exact_majority(
+                        values[i]
+                    )
+                else:
+                    ref_w, ref_c = majority_module._reference_clustered_majority(
+                        values[i], tolerance
+                    )
+                assert np.array_equal(winners[i], ref_w)
+                assert counts[i] == ref_c
+
+
+def test_kernel_byte_equality_semantics():
+    """NaN payloads with equal bits count as equal; -0.0 and +0.0 do not."""
+    values = np.zeros((1, 3, 2))
+    values[0, 0] = np.nan
+    values[0, 1] = np.nan
+    values[0, 2] = 1.0
+    winners, counts = majority_vote_tensor(values)
+    assert counts[0] == 2 and np.isnan(winners[0]).all()
+
+    values = np.zeros((1, 3, 1))
+    values[0, 0] = -0.0
+    values[0, 1] = 0.0
+    values[0, 2] = -0.0
+    winners, counts = majority_vote_tensor(values)
+    assert counts[0] == 2 and np.signbit(winners[0, 0])
+
+
+# --------------------------------------------------------------------------- #
+# One round: run_round vs run_round_tensor, all schemes x registered attacks
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+@pytest.mark.parametrize("attack_name", available_attacks())
+def test_round_and_aggregates_identical(scheme, attack_name):
+    assignment = SCHEMES[scheme]()
+    attack = create_attack(attack_name)
+    selector = FixedSelector([0, min(5, assignment.num_workers - 1)])
+    legacy, tensor = run_both_paths(assignment, attack, selector)
+
+    assert legacy.byzantine_workers == tensor.byzantine_workers
+    assert legacy.distorted_files == tensor.distorted_files
+    assert legacy.mean_file_loss == tensor.mean_file_loss
+    unpacked = tensor.vote_tensor.to_file_votes()
+    for i in range(assignment.num_files):
+        assert set(unpacked[i]) == set(legacy.file_votes[i])
+        for w in unpacked[i]:
+            assert np.array_equal(unpacked[i][w], legacy.file_votes[i][w])
+
+    for tolerance in (0.0, 1e-9, 0.5):
+        for pipeline in pipelines_for(scheme, assignment, tolerance):
+            dict_result = pipeline.aggregate(legacy.file_votes)
+            tensor_result = pipeline.aggregate_tensor(tensor.vote_tensor)
+            assert np.array_equal(dict_result, tensor_result), (
+                scheme,
+                attack_name,
+                tolerance,
+                pipeline.pipeline_name,
+            )
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_round_identical_under_random_selection(scheme):
+    """Stochastic selector + stochastic attack consume the RNG identically."""
+    assignment = SCHEMES[scheme]()
+    attack = create_attack("gaussian_noise", sigma=3.0)
+    selector = RandomSelector(num_byzantine=2)
+    legacy, tensor = run_both_paths(assignment, attack, selector, seed=19)
+    unpacked = tensor.vote_tensor.to_file_votes()
+    for i in range(assignment.num_files):
+        for w in unpacked[i]:
+            assert np.array_equal(unpacked[i][w], legacy.file_votes[i][w])
+
+
+def test_tensor_round_result_adapter_matches_legacy(mols_assignment):
+    attack = create_attack("constant")
+    selector = FixedSelector([0, 5])
+    legacy, tensor = run_both_paths(mols_assignment, attack, selector)
+    adapted = tensor.to_round_result()
+    assert adapted.byzantine_workers == legacy.byzantine_workers
+    assert adapted.distorted_files == legacy.distorted_files
+    assert adapted.distortion_fraction == legacy.distortion_fraction
+    assert len(adapted.messages) == len(legacy.messages)
+    by_key = {(m.worker, m.file): m for m in legacy.messages}
+    for message in adapted.messages:
+        reference = by_key[(message.worker, message.file)]
+        assert message.is_byzantine == reference.is_byzantine
+        assert np.array_equal(message.gradient, reference.gradient)
+
+
+def test_byzantine_mask_matches_selection(mols_assignment):
+    attack = create_attack("constant")
+    selector = FixedSelector([0, 5])
+    _, tensor = run_both_paths(mols_assignment, attack, selector)
+    mask = tensor.vote_tensor.byzantine_mask
+    expected = np.isin(tensor.vote_tensor.workers, [0, 5])
+    assert np.array_equal(mask, expected)
+
+
+def test_voted_gradients_tensor_matches_dict(mols_assignment):
+    attack = create_attack("reversed_gradient")
+    selector = FixedSelector([0, 5])
+    legacy, tensor = run_both_paths(mols_assignment, attack, selector)
+    pipeline = ByzShieldPipeline(mols_assignment)
+    assert np.array_equal(
+        pipeline.voted_gradients(legacy.file_votes),
+        pipeline.voted_gradients_tensor(tensor.vote_tensor),
+    )
+
+
+def test_aggregate_tensor_validates_layout(mols_assignment, frc_15_3):
+    pipeline = ByzShieldPipeline(mols_assignment)
+    wrong = VoteTensor.from_honest(
+        frc_15_3.assignment,
+        np.zeros((frc_15_3.assignment.num_files, DIM)),
+    )
+    from repro.exceptions import AggregationError
+
+    with pytest.raises(AggregationError):
+        pipeline.aggregate_tensor(wrong)
+
+
+# --------------------------------------------------------------------------- #
+# Full training runs: tensor path vs legacy path
+# --------------------------------------------------------------------------- #
+def test_trainer_histories_identical_between_paths(small_classification_data):
+    from repro.attacks.alie import ALIEAttack
+    from repro.nn.models import build_mlp
+    from repro.training.builders import build_byzshield_trainer
+    from repro.training.config import TrainingConfig
+
+    train, test = small_classification_data
+
+    def build(use_tensor_path):
+        trainer = build_byzshield_trainer(
+            scheme=MOLSAssignment(load=5, replication=3),
+            model=build_mlp(train.flat_feature_dim, 4, hidden=(8,), seed=5),
+            train_dataset=train,
+            test_dataset=test,
+            config=TrainingConfig(
+                batch_size=100, num_iterations=4, eval_every=2, seed=3
+            ),
+            attack=ALIEAttack(),
+            num_byzantine=3,
+        )
+        trainer.use_tensor_path = use_tensor_path
+        return trainer
+
+    fast = build(True).train()
+    slow = build(False).train()
+    assert np.array_equal(fast.train_losses, slow.train_losses)
+    assert np.array_equal(fast.distortion_fractions, slow.distortion_fractions)
+    assert np.array_equal(fast.accuracy_series()[1], slow.accuracy_series()[1])

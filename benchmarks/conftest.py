@@ -3,6 +3,10 @@
 Every benchmark regenerates one table or figure of the paper and saves a
 plain-text rendering under ``benchmarks/results/`` so the numbers can be
 inspected (and compared against EXPERIMENTS.md) after a run.
+
+Everything collected from this directory is marked ``bench`` and deselected
+by default (``addopts = -m "not bench"`` in pyproject.toml), keeping tier-1
+fast; CI runs the benchmarks in a dedicated job with ``-m bench``.
 """
 
 from __future__ import annotations
@@ -12,6 +16,14 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(config, items):
+    """Tag every test under benchmarks/ with the ``bench`` marker."""
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

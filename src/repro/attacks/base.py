@@ -37,7 +37,10 @@ class AttackContext:
     iteration:
         Zero-based training iteration (attacks may vary over time).
     rng:
-        Generator for stochastic attacks; seeded by the simulator.
+        Generator for stochastic attacks.  The simulator always passes a
+        per-round derived generator; the default (a fixed-seed generator,
+        never fresh OS entropy) only exists so hand-built contexts in tests
+        are reproducible too.
     honest_matrix:
         Optional ``(f, d)`` stacked view of the honest gradients (file order).
         Provided by the tensor round path so vectorized attacks avoid
@@ -48,7 +51,7 @@ class AttackContext:
     byzantine_workers: tuple[int, ...]
     honest_file_gradients: dict[int, np.ndarray]
     iteration: int = 0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     honest_matrix: np.ndarray | None = None
 
     @property

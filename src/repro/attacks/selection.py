@@ -81,6 +81,15 @@ class RandomSelector(ByzantineSelector):
         self.resample_every_iteration = bool(resample_every_iteration)
         self._cached: tuple[int, ...] | None = None
 
+    def reset(self) -> None:
+        """Forget the cached draw so the selector can be reused across runs.
+
+        Without this, a ``resample_every_iteration=False`` selector reused by
+        a second run would replay the *first* run's cached set instead of
+        drawing from the new run's seed — a cross-run RNG leak.
+        """
+        self._cached = None
+
     def select(
         self,
         assignment: BipartiteAssignment,

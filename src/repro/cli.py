@@ -10,6 +10,11 @@ Usage (after installing the package)::
     python -m repro.cli bounds                       # gamma-bound tightness + Claim 2
     python -m repro.cli ablation assignment          # extra ablations
     python -m repro.cli distortion --scheme mols --load 5 --replication 3 --q 4
+    python -m repro.cli scenario list                # the golden scenario matrix
+    python -m repro.cli scenario run examples/scenario_mols_alie_faults.json
+    python -m repro.cli scenario run mols-alie-all-faults --trace-out trace.json
+    python -m repro.cli scenario record              # regenerate golden traces
+    python -m repro.cli scenario replay              # verify against goldens
 
 Output goes to stdout as aligned text tables; ``--csv PATH`` additionally
 writes machine-readable CSV.
@@ -43,7 +48,12 @@ from repro.experiments.tables import (
     generate_table5,
     generate_table6,
 )
+from repro.experiments.scenarios import scenario_matrix_table
 from repro.experiments.timing import generate_figure12
+from repro.scenarios.catalog import get_scenario, scenario_names
+from repro.scenarios.golden import golden_path, record_goldens, replay_golden
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -86,7 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("bounds", help="gamma-bound tightness and Claim 2 checks")
 
     ablation_parser = subparsers.add_parser("ablation", help="run an ablation study")
-    ablation_parser.add_argument("name", choices=["assignment", "aggregator"])
+    ablation_parser.add_argument(
+        "name", choices=["assignment", "aggregator", "scenarios"]
+    )
 
     distortion_parser = subparsers.add_parser(
         "distortion", help="distortion table for a custom assignment"
@@ -101,6 +113,37 @@ def build_parser() -> argparse.ArgumentParser:
     distortion_parser.add_argument("--q", type=int, nargs="+", required=True)
     distortion_parser.add_argument(
         "--method", default="auto", choices=["auto", "exhaustive", "greedy", "local_search"]
+    )
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run fault-injection scenarios and manage golden traces"
+    )
+    scenario_parser.add_argument(
+        "action", choices=["list", "run", "record", "replay"]
+    )
+    scenario_parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="catalog scenario name or path to a ScenarioSpec JSON file (run)",
+    )
+    scenario_parser.add_argument(
+        "--name",
+        action="append",
+        default=None,
+        help="restrict record/replay to these catalog scenarios (repeatable)",
+    )
+    scenario_parser.add_argument(
+        "--golden-dir",
+        type=pathlib.Path,
+        default=None,
+        help="golden trace directory (default: tests/golden)",
+    )
+    scenario_parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help="write the run's full trace JSON to this path",
     )
     return parser
 
@@ -168,6 +211,9 @@ def _run_ablation(args: argparse.Namespace) -> str:
     if args.name == "assignment":
         rows = assignment_structure_ablation()
         return _emit(rows, "Assignment-structure ablation", args.csv)
+    if args.name == "scenarios":
+        rows = scenario_matrix_table()
+        return _emit(rows, "Fault-injection scenario matrix", args.csv)
     rows = aggregator_ablation()
     return _emit(rows, "Post-vote aggregator ablation", args.csv)
 
@@ -196,6 +242,66 @@ def _run_distortion(args: argparse.Namespace) -> str:
     return _emit(rows, f"distortion for {scheme.assignment.name}", args.csv)
 
 
+def _load_scenario_spec(target: str) -> ScenarioSpec:
+    """Resolve a CLI target: a catalog scenario name or a spec JSON path.
+
+    Catalog names win over same-named files in the working directory so a
+    stray ``mols-clean`` file can never shadow the committed matrix; spec
+    files are addressed by their ``.json`` suffix (or any explicit path).
+    """
+    if target in scenario_names():
+        return get_scenario(target)
+    path = pathlib.Path(target)
+    if path.suffix == ".json" or path.is_file():
+        return ScenarioSpec.from_json_file(path)
+    return get_scenario(target)  # raises listing the catalog names
+
+
+def _run_scenario_cmd(args: argparse.Namespace) -> str:
+    if args.action == "list":
+        lines = ["Golden scenario matrix:"]
+        for name in scenario_names():
+            spec = get_scenario(name)
+            lines.append(f"  {name}: {spec.description}")
+        lines.append("")
+        lines.append("Run one with: repro scenario run <name | spec.json>")
+        return "\n".join(lines)
+    if args.action == "run":
+        if args.target is None:
+            raise ReproError(
+                "scenario run requires a catalog name or a spec JSON path"
+            )
+        spec = _load_scenario_spec(args.target)
+        result = run_scenario(spec)
+        if args.trace_out is not None:
+            result.trace.write_json_file(args.trace_out)
+        rows = [result.summary()]
+        text = _emit(rows, f"scenario {spec.name!r}", args.csv)
+        fault_total = sum(len(r.faults) for r in result.trace.rounds)
+        text += (
+            f"\n\nrounds={len(result.trace.rounds)} "
+            f"fault_events={fault_total} "
+            f"spec_digest={spec.digest()} "
+            f"final_params_digest={result.trace.final_params_digest}"
+        )
+        return text
+    # Accept a positional name for record/replay too ('scenario record X'
+    # mirrors 'scenario run X'); never silently ignore it.
+    names = list(args.name) if args.name else []
+    if args.target is not None:
+        names.append(args.target)
+    names = names or None
+    if args.action == "record":
+        written = record_goldens(names, golden_dir=args.golden_dir)
+        return "\n".join(f"recorded {path}" for path in written)
+    # replay
+    lines = []
+    for name in names if names is not None else scenario_names():
+        replay_golden(name, golden_dir=args.golden_dir)
+        lines.append(f"ok {name} ({golden_path(name, args.golden_dir)})")
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -213,6 +319,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _run_ablation(args)
         elif args.command == "distortion":
             output = _run_distortion(args)
+        elif args.command == "scenario":
+            output = _run_scenario_cmd(args)
         else:  # pragma: no cover - argparse enforces choices
             parser.error(f"unknown command {args.command!r}")
             return 2

@@ -1,0 +1,302 @@
+"""Cluster fault injection: stragglers, worker dropout/churn, message corruption.
+
+The paper's simulator assumes a clean synchronous round: every worker returns
+every assigned file gradient, instantly and uncorrupted.  Real clusters are
+not like that, and the robustness claim only matters if majority voting also
+absorbs *benign* faults.  The injectors below perturb a round **after** the
+attack has written its payloads, operating directly on the packed
+:class:`~repro.core.vote_tensor.VoteTensor` so the PS-side pipelines see the
+faults exactly as they would see adversarial returns:
+
+* :class:`StragglerInjector` — a subset of workers is slow each round.  The
+  delay is sampled from a deterministic or exponential model; with a timeout
+  set, a worker whose delay exceeds it is abandoned by the PS and its votes
+  are zeroed (a crash-like benign fault the vote must out-count).  The
+  simulated round duration is the slowest surviving worker.
+* :class:`DropoutInjector` — crash-stop churn: each live worker goes down
+  with some probability and stays down for ``down_for`` rounds before
+  rejoining; a downed worker's votes are zeroed.
+* :class:`MessageCorruptionInjector` — each (file, slot) message is
+  independently corrupted with some probability: zeroed, scaled, or hit with
+  additive Gaussian noise (a torn/bit-flipped payload).
+
+Every injector draws randomness only from the generator handed to
+:meth:`FaultInjector.inject`; the simulator derives one independent stream
+per injector per round (see ``TrainingCluster``), so enabling or re-ordering
+fault injectors never perturbs the attack's RNG stream, and identical seeds
+give bit-identical fault sequences.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.vote_tensor import VoteTensor
+from repro.exceptions import ConfigurationError
+from repro.graphs.bipartite import BipartiteAssignment
+
+__all__ = [
+    "FaultContext",
+    "FaultEvent",
+    "FaultInjector",
+    "StragglerInjector",
+    "DropoutInjector",
+    "MessageCorruptionInjector",
+    "round_duration",
+]
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """What an injector can see when perturbing one round."""
+
+    assignment: BipartiteAssignment
+    iteration: int
+    rng: np.random.Generator
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One realized fault, recorded for traces and diagnostics.
+
+    Attributes
+    ----------
+    kind:
+        Injector kind (``"straggler"``, ``"dropout"``, ``"corruption"``).
+    worker:
+        Affected worker, or ``-1`` for message-level faults.
+    file:
+        Affected file for message-level faults, ``-1`` otherwise.
+    delay:
+        Simulated extra latency in seconds (stragglers; 0 otherwise).
+    dropped:
+        True when the fault removed the worker's contribution (votes zeroed).
+    """
+
+    kind: str
+    worker: int = -1
+    file: int = -1
+    delay: float = 0.0
+    dropped: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form used by scenario traces (delay hex-exact)."""
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "file": self.file,
+            "delay": float(self.delay).hex(),
+            "dropped": self.dropped,
+        }
+
+
+def round_duration(events: "list[FaultEvent]", base: float = 0.0) -> float:
+    """Simulated wall-clock of a round: the slowest surviving worker.
+
+    Workers abandoned at a timeout do not extend the round beyond their
+    recorded (already clamped) delay.
+    """
+    return max((event.delay for event in events), default=0.0) + base
+
+
+def _zero_worker_votes(tensor: VoteTensor, worker: int) -> int:
+    """Zero every vote the given worker contributed; returns slots touched."""
+    mask = tensor.workers == int(worker)
+    tensor.values[mask] = 0.0
+    return int(mask.sum())
+
+
+class FaultInjector(abc.ABC):
+    """A per-round perturbation of the packed vote tensor."""
+
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def inject(self, tensor: VoteTensor, context: FaultContext) -> list[FaultEvent]:
+        """Perturb ``tensor`` in place and return the realized fault events."""
+
+    def reset(self) -> None:
+        """Clear any cross-round state so the injector can be reused."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class StragglerInjector(FaultInjector):
+    """Slow workers with a configurable delay model and optional PS timeout.
+
+    Parameters
+    ----------
+    count:
+        How many workers straggle each round (drawn uniformly).
+    delay_model:
+        ``"fixed"`` (every straggler is ``delay`` seconds late) or
+        ``"exponential"`` (delays drawn from Exp(mean=``delay``)).
+    delay:
+        The fixed delay or the exponential mean, in simulated seconds.
+    timeout:
+        When set, a straggler later than this is abandoned: its votes are
+        zeroed and its recorded delay is clamped to the timeout.
+    """
+
+    kind = "straggler"
+
+    def __init__(
+        self,
+        count: int,
+        delay_model: str = "exponential",
+        delay: float = 1.0,
+        timeout: float | None = None,
+    ) -> None:
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if delay_model not in ("fixed", "exponential"):
+            raise ConfigurationError(
+                f"unknown delay_model {delay_model!r}; expected 'fixed' or 'exponential'"
+            )
+        if not np.isfinite(delay) or delay <= 0:
+            raise ConfigurationError(f"delay must be positive, got {delay}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {timeout}")
+        self.count = int(count)
+        self.delay_model = delay_model
+        self.delay = float(delay)
+        self.timeout = None if timeout is None else float(timeout)
+
+    def inject(self, tensor: VoteTensor, context: FaultContext) -> list[FaultEvent]:
+        K = context.assignment.num_workers
+        count = min(self.count, K)
+        if count == 0:
+            return []
+        stragglers = np.sort(context.rng.choice(K, size=count, replace=False))
+        if self.delay_model == "fixed":
+            delays = np.full(count, self.delay)
+        else:
+            delays = context.rng.exponential(self.delay, size=count)
+        events: list[FaultEvent] = []
+        for worker, delay in zip(stragglers, delays):
+            dropped = self.timeout is not None and delay > self.timeout
+            if dropped:
+                _zero_worker_votes(tensor, int(worker))
+                delay = self.timeout
+            events.append(
+                FaultEvent(
+                    kind=self.kind,
+                    worker=int(worker),
+                    delay=float(delay),
+                    dropped=bool(dropped),
+                )
+            )
+        return events
+
+
+class DropoutInjector(FaultInjector):
+    """Crash-stop worker churn: workers go down and rejoin after a few rounds.
+
+    Parameters
+    ----------
+    probability:
+        Per-round probability that a live worker crashes.
+    down_for:
+        Rounds a crashed worker stays down before rejoining (>= 1).
+    """
+
+    kind = "dropout"
+
+    def __init__(self, probability: float, down_for: int = 1) -> None:
+        if not (0.0 <= probability <= 1.0):
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        if down_for < 1:
+            raise ConfigurationError(f"down_for must be >= 1, got {down_for}")
+        self.probability = float(probability)
+        self.down_for = int(down_for)
+        self._down: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._down.clear()
+
+    def inject(self, tensor: VoteTensor, context: FaultContext) -> list[FaultEvent]:
+        K = context.assignment.num_workers
+        # One uniform draw per worker, every round, regardless of who is
+        # already down: the RNG consumption is then a pure function of
+        # (seed, iteration, K), never of the realized fault history.
+        draws = context.rng.random(K)
+        events: list[FaultEvent] = []
+        for worker in range(K):
+            remaining = self._down.get(worker, 0)
+            if remaining > 0:
+                self._down[worker] = remaining - 1
+                if self._down[worker] == 0:
+                    del self._down[worker]
+            elif self.probability > 0.0 and draws[worker] < self.probability:
+                self._down[worker] = self.down_for - 1
+                if self._down[worker] == 0:
+                    del self._down[worker]
+                remaining = self.down_for
+            else:
+                continue
+            _zero_worker_votes(tensor, worker)
+            events.append(FaultEvent(kind=self.kind, worker=worker, dropped=True))
+        return events
+
+
+class MessageCorruptionInjector(FaultInjector):
+    """Independently corrupt (file, slot) gradient messages in flight.
+
+    Parameters
+    ----------
+    probability:
+        Per-message corruption probability.
+    mode:
+        ``"zero"`` (payload lost), ``"scale"`` (multiplied by ``factor``,
+        e.g. an endianness/overflow bug) or ``"noise"`` (additive Gaussian
+        noise of standard deviation ``factor``).
+    factor:
+        Scale multiplier or noise sigma, depending on ``mode``.
+    """
+
+    kind = "corruption"
+
+    def __init__(
+        self, probability: float, mode: str = "zero", factor: float = 10.0
+    ) -> None:
+        if not (0.0 <= probability <= 1.0):
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        if mode not in ("zero", "scale", "noise"):
+            raise ConfigurationError(
+                f"unknown mode {mode!r}; expected 'zero', 'scale' or 'noise'"
+            )
+        if not np.isfinite(factor):
+            raise ConfigurationError(f"factor must be finite, got {factor}")
+        self.probability = float(probability)
+        self.mode = mode
+        self.factor = float(factor)
+
+    def inject(self, tensor: VoteTensor, context: FaultContext) -> list[FaultEvent]:
+        f, r, d = tensor.shape
+        hit = context.rng.random((f, r)) < self.probability
+        if not hit.any():
+            return []
+        if self.mode == "zero":
+            tensor.values[hit] = 0.0
+        elif self.mode == "scale":
+            tensor.values[hit] *= self.factor
+        else:
+            noise = context.rng.standard_normal((int(hit.sum()), d)) * self.factor
+            tensor.values[hit] += noise
+        files, slots = np.nonzero(hit)
+        return [
+            FaultEvent(
+                kind=self.kind,
+                worker=int(tensor.workers[i, k]),
+                file=int(i),
+            )
+            for i, k in zip(files, slots)
+        ]

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.faults import FaultEvent
 from repro.core.vote_tensor import VoteTensor
 
 __all__ = ["GradientMessage", "RoundResult", "TensorRoundResult"]
@@ -93,6 +94,11 @@ class TensorRoundResult:
         Per-file training loss (file order).
     mean_file_loss:
         Average training loss over the round's files.
+    fault_events:
+        Benign faults injected this round (stragglers, dropout, corruption).
+    round_time:
+        Simulated round duration in seconds (slowest surviving worker); 0
+        when no straggler model is active.
     """
 
     vote_tensor: VoteTensor
@@ -101,6 +107,15 @@ class TensorRoundResult:
     distorted_files: tuple[int, ...]
     file_losses: np.ndarray
     mean_file_loss: float = float("nan")
+    fault_events: tuple[FaultEvent, ...] = ()
+    round_time: float = 0.0
+
+    @property
+    def dropped_workers(self) -> tuple[int, ...]:
+        """Workers whose contribution was lost to a benign fault this round."""
+        return tuple(
+            sorted({e.worker for e in self.fault_events if e.dropped and e.worker >= 0})
+        )
 
     @property
     def distortion_fraction(self) -> float:

@@ -14,6 +14,7 @@ from repro.core.pipelines import AggregationPipeline, FileVotes
 from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import TrainingError
 from repro.nn.optim import SGD
+from repro.utils.digest import array_digest
 
 __all__ = ["ParameterServer"]
 
@@ -82,3 +83,11 @@ class ParameterServer:
     def update_tensor(self, tensor: VoteTensor) -> np.ndarray:
         """Tensor analogue of :meth:`update` (same step, packed returns)."""
         return self._apply_gradient(self.aggregate_tensor(tensor))
+
+    def state_digest(self) -> str:
+        """Stable hex digest of the current global parameters.
+
+        Two servers that applied bit-identical update sequences produce the
+        same digest; scenario traces pin this per round to detect any drift.
+        """
+        return array_digest(self._params)

@@ -8,10 +8,13 @@ truth needed by the experiments (true gradients, realized distortion).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
 from repro.attacks.selection import ByzantineSelector
+from repro.cluster.faults import FaultContext, FaultEvent, FaultInjector, round_duration
 from repro.cluster.messages import GradientMessage, RoundResult, TensorRoundResult
 from repro.cluster.worker import WorkerPool
 from repro.core.distortion import distorted_files
@@ -38,6 +41,12 @@ class TrainingCluster:
         means no Byzantine workers.
     seed:
         Base seed for per-round randomness (attack noise, random selection).
+    fault_injectors:
+        Benign fault models applied to each round's vote tensor after the
+        attack (tensor path only).  Each injector receives its own derived
+        RNG stream every round, independent of the selector/attack stream,
+        so adding or removing an injector never changes the adversary's
+        randomness (and vice versa).
     """
 
     def __init__(
@@ -47,6 +56,7 @@ class TrainingCluster:
         attack: Attack | None = None,
         selector: ByzantineSelector | None = None,
         seed: int | np.random.Generator | None = 0,
+        fault_injectors: Sequence[FaultInjector] = (),
     ) -> None:
         if worker_pool.assignment is not assignment and worker_pool.assignment != assignment:
             raise TrainingError("worker pool and cluster use different assignments")
@@ -58,13 +68,47 @@ class TrainingCluster:
         self.worker_pool = worker_pool
         self.attack = attack
         self.selector = selector
+        self.fault_injectors = tuple(fault_injectors)
         self._seed = seed if isinstance(seed, int) else None
         self._rng = as_generator(seed)
+        # Fault streams must stay independent of the round/attack stream even
+        # when the cluster is seeded with a live Generator: hash the
+        # generator's construction-time state into a fault base seed without
+        # consuming any draws from it.
+        if self._seed is not None:
+            self._fault_seed: int | None = self._seed
+        elif self.fault_injectors:
+            self._fault_seed = derive_seed(
+                "fault-base", repr(self._rng.bit_generator.state)
+            )
+        else:
+            self._fault_seed = None
 
     def _round_rng(self, iteration: int) -> np.random.Generator:
         if self._seed is None:
             return self._rng
         return as_generator(derive_seed(self._seed, "round", iteration))
+
+    def _fault_rng(self, iteration: int, index: int, kind: str) -> np.random.Generator:
+        """Independent per-injector stream (see ``fault_injectors`` above)."""
+        assert self._fault_seed is not None  # set whenever injectors exist
+        return as_generator(derive_seed(self._fault_seed, "fault", index, kind, iteration))
+
+    def _inject_faults(self, tensor, iteration: int) -> tuple[FaultEvent, ...]:
+        events: list[FaultEvent] = []
+        for index, injector in enumerate(self.fault_injectors):
+            context = FaultContext(
+                assignment=self.assignment,
+                iteration=iteration,
+                rng=self._fault_rng(iteration, index, injector.kind),
+            )
+            events.extend(injector.inject(tensor, context))
+        return tuple(events)
+
+    def reset_faults(self) -> None:
+        """Clear stateful injectors (churn state) before reusing the cluster."""
+        for injector in self.fault_injectors:
+            injector.reset()
 
     def _select_byzantine(
         self, iteration: int, rng: np.random.Generator
@@ -97,6 +141,11 @@ class TrainingCluster:
         iteration:
             Zero-based iteration index (drives per-round seeds and selectors).
         """
+        if self.fault_injectors:
+            raise TrainingError(
+                "fault injection is only supported on the tensor round path; "
+                "use run_round_tensor"
+            )
         rng = self._round_rng(iteration)
         file_votes, honest, losses = self.worker_pool.honest_returns(params, file_data)
 
@@ -165,6 +214,7 @@ class TrainingCluster:
             )
             self.attack.apply_tensor(context, tensor)
 
+        fault_events = self._inject_faults(tensor, iteration)
         mean_loss = float(np.mean(losses)) if losses.size else float("nan")
         return TensorRoundResult(
             vote_tensor=tensor,
@@ -173,4 +223,6 @@ class TrainingCluster:
             distorted_files=self._corrupted_files(byzantine),
             file_losses=losses,
             mean_file_loss=mean_loss,
+            fault_events=fault_events,
+            round_time=round_duration(list(fault_events)),
         )

@@ -18,13 +18,16 @@ without per-file Python loops.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import TrainingError
 from repro.graphs.bipartite import BipartiteAssignment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.compression.compressors import Compressor
 
 __all__ = ["WorkerPool"]
 
@@ -48,6 +51,15 @@ class WorkerPool:
         Compute every file gradient once and share it among the file's
         workers (default, exploits determinism); when False every worker
         recomputes its own copy, which is slower but validates determinism.
+    compressor:
+        Optional uplink compressor applied to each file gradient before it
+        is (conceptually) transmitted to the PS.  Compression happens once
+        per file, so all of a file's copies stay bit-identical and exact
+        majority voting keeps working; the honest ground-truth matrix and
+        losses are reported *uncompressed*.  Requires
+        ``shared_computation=True``: in per-worker recomputation mode a
+        stateful (stochastic) compressor would compress each copy
+        differently, silently breaking the bit-identical-copies invariant.
     """
 
     def __init__(
@@ -55,10 +67,24 @@ class WorkerPool:
         assignment: BipartiteAssignment,
         gradient_fn: GradientFn,
         shared_computation: bool = True,
+        compressor: "Compressor | None" = None,
     ) -> None:
+        if compressor is not None and not shared_computation:
+            raise TrainingError(
+                "uplink compression requires shared_computation=True; "
+                "per-worker recomputation would compress each copy of a file "
+                "independently and break exact majority voting"
+            )
         self.assignment = assignment
         self.gradient_fn = gradient_fn
         self.shared_computation = bool(shared_computation)
+        self.compressor = compressor
+
+    def _transmitted(self, matrix: np.ndarray) -> np.ndarray:
+        """The per-file vectors as the PS receives them (post compression)."""
+        if self.compressor is None:
+            return matrix
+        return np.vstack([self.compressor(matrix[i]).vector for i in range(matrix.shape[0])])
 
     def _check_file_data(
         self, file_data: dict[int, tuple[np.ndarray, np.ndarray]]
@@ -116,14 +142,18 @@ class WorkerPool:
         Returns ``(file_votes, honest_file_gradients, file_losses)`` where
         ``file_votes[i][j]`` is worker ``j``'s copy of file ``i``'s gradient.
         """
-        honest, losses = self.compute_file_gradients(params, file_data)
+        matrix, loss_vector = self.compute_file_gradient_matrix(params, file_data)
+        honest = {i: matrix[i] for i in range(self.assignment.num_files)}
+        losses = {i: float(loss_vector[i]) for i in range(len(loss_vector))}
+        transmitted = self._transmitted(matrix)
         file_votes: dict[int, dict[int, np.ndarray]] = {}
         for file_index in range(self.assignment.num_files):
             votes: dict[int, np.ndarray] = {}
             for worker in self.assignment.workers_of_file(file_index):
                 if self.shared_computation:
-                    votes[worker] = honest[file_index]
+                    votes[worker] = transmitted[file_index]
                 else:
+                    # compressor is None here (enforced by the constructor).
                     inputs, labels = file_data[file_index]
                     gradient, _ = self.gradient_fn(params, inputs, labels)
                     votes[worker] = np.asarray(gradient, dtype=np.float64).ravel()
@@ -152,4 +182,5 @@ class WorkerPool:
             tensor = VoteTensor.from_file_votes(self.assignment, file_votes)
             return tensor, matrix, loss_vector
         matrix, losses = self.compute_file_gradient_matrix(params, file_data)
-        return VoteTensor.from_honest(self.assignment, matrix), matrix, losses
+        tensor = VoteTensor.from_honest(self.assignment, self._transmitted(matrix))
+        return tensor, matrix, losses

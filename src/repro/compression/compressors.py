@@ -26,6 +26,8 @@ __all__ = [
     "TopKCompressor",
     "RandomKCompressor",
     "QuantizedCompressor",
+    "available_compressors",
+    "create_compressor",
 ]
 
 _FLOAT_BITS = 64
@@ -185,3 +187,31 @@ class QuantizedCompressor(Compressor):
         vector = np.sign(gradient) * rounded / levels * norm
         bits = gradient.size * (self.bits_per_coordinate + 1) + _FLOAT_BITS
         return CompressedGradient(vector, bits=float(bits))
+
+
+_COMPRESSORS: dict[str, type[Compressor]] = {
+    "identity": IdentityCompressor,
+    "sign": SignCompressor,
+    "topk": TopKCompressor,
+    "randomk": RandomKCompressor,
+    "quantized": QuantizedCompressor,
+}
+
+
+def available_compressors() -> list[str]:
+    """Sorted names accepted by :func:`create_compressor`."""
+    return sorted(_COMPRESSORS)
+
+
+def create_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a compressor by (case-insensitive) name.
+
+    Scenario specs refer to compressors by name; unknown names raise
+    :class:`~repro.exceptions.ConfigurationError` listing the alternatives.
+    """
+    key = name.lower()
+    if key not in _COMPRESSORS:
+        raise ConfigurationError(
+            f"unknown compressor {name!r}; available: {available_compressors()}"
+        )
+    return _COMPRESSORS[key](**kwargs)

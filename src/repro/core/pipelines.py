@@ -120,6 +120,22 @@ class AggregationPipeline:
     def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
         raise NotImplementedError
 
+    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
+        """The ``(n, d)`` matrix the second-stage aggregator sees.
+
+        For voting pipelines these are the per-file majority winners; for the
+        vanilla pipeline the raw worker gradients.  Scenario traces digest
+        this matrix per round to pin the voting stage independently of the
+        robust aggregation that follows.  Every concrete pipeline must
+        override this explicitly.
+        """
+        raise NotImplementedError
+
+    def _majority_matrix(self, tensor: VoteTensor, voter: MajorityVote) -> np.ndarray:
+        """Shared post-vote matrix of the majority-voting pipelines."""
+        winners, _ = majority_vote_tensor(tensor.values, voter.tolerance)
+        return winners
+
     # -- helpers -----------------------------------------------------------------
     def _voted_file_gradients(
         self, file_votes: FileVotes, voter: MajorityVote
@@ -194,8 +210,10 @@ class ByzShieldPipeline(AggregationPipeline):
         """Tensor analogue of :meth:`voted_gradients`."""
         if self.validate:
             _validate_vote_tensor(self.assignment, tensor)
-        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
-        return winners
+        return self._majority_matrix(tensor, self.voter)
+
+    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
+        return self._majority_matrix(tensor, self.voter)
 
 
 class DetoxPipeline(AggregationPipeline):
@@ -240,6 +258,9 @@ class DetoxPipeline(AggregationPipeline):
     def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
         winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
         return self.aggregator(winners)
+
+    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
+        return self._majority_matrix(tensor, self.voter)
 
 
 class DracoPipeline(AggregationPipeline):
@@ -297,6 +318,9 @@ class DracoPipeline(AggregationPipeline):
         winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
         return self._mean(winners)
 
+    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
+        return self._majority_matrix(tensor, self.voter)
+
 
 class VanillaPipeline(AggregationPipeline):
     """No redundancy: the robust aggregator sees the ``K`` raw worker gradients."""
@@ -327,3 +351,7 @@ class VanillaPipeline(AggregationPipeline):
     def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
         # r == 1: slot 0 holds each file's single worker return.
         return self.aggregator(tensor.values[:, 0, :])
+
+    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
+        # No vote stage: the aggregator sees the raw (K, d) worker returns.
+        return tensor.values[:, 0, :]

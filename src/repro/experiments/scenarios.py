@@ -1,0 +1,28 @@
+"""Scenario-matrix experiment: robustness under faults, at a glance.
+
+Runs (a subset of) the golden scenario catalog and condenses each run into
+one summary row — final accuracy, realized distortion, adversary budget,
+fault counts and simulated time — the same row shape the other experiment
+tables use, so the CLI and the report renderer work unchanged.  This is the
+"as many scenarios as you can imagine" table: it shows in one screen how the
+redundancy schemes behave across attacks, schedules, stragglers, churn,
+corruption and compression.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.catalog import get_scenario, scenario_names
+from repro.scenarios.runner import run_scenario
+
+__all__ = ["scenario_matrix_table"]
+
+
+def scenario_matrix_table(names: "list[str] | None" = None) -> list[dict[str, object]]:
+    """One summary row per scenario (default: the whole catalog)."""
+    rows: list[dict[str, object]] = []
+    for name in names if names is not None else scenario_names():
+        result = run_scenario(get_scenario(name))
+        row = result.summary()
+        row.pop("final_params_digest", None)  # digests belong to traces
+        rows.append(row)
+    return rows

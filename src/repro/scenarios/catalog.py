@@ -1,0 +1,329 @@
+"""The named scenario matrix pinned by the golden-trace suite.
+
+Every entry is a complete :class:`~repro.scenarios.spec.ScenarioSpec` sized
+to run in well under a second: a tiny Gaussian-mixture dataset, a small MLP,
+and a handful of training rounds.  Jointly the matrix covers
+
+* **schemes** — MOLS (K=15), Ramanujan Case 2 (K=25), FRC/DETOX, FRC/DRACO
+  and the no-redundancy baseline;
+* **attacks** — ALIE, constant, reversed gradient, Gaussian noise, uniform
+  random;
+* **adversary schedules** — static, ramping ``q``, and a rotating
+  compromised window;
+* **faults** — exponential/fixed stragglers (with and without timeouts),
+  crash-stop churn, and message corruption (zero/scale/noise);
+* **compression** — top-k and sign uplink compression.
+
+Names are stable identifiers: golden traces live at
+``tests/golden/<name>.json`` and are regenerated with
+``repro scenario record``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["scenario_names", "get_scenario", "all_scenarios"]
+
+
+def _spec(
+    name: str,
+    cluster: dict[str, Any],
+    pipeline: dict[str, Any],
+    attack: "dict[str, Any] | None" = None,
+    faults: "list[dict[str, Any]] | None" = None,
+    compression: "dict[str, Any] | None" = None,
+    description: str = "",
+    **overrides: Any,
+) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "name": name,
+        "seed": 0,
+        "cluster": cluster,
+        "pipeline": pipeline,
+        "data": {"kind": "gaussian", "num_train": 300, "num_test": 100,
+                 "num_classes": 4, "dim": 12, "separation": 3.0},
+        "model": {"hidden": [16]},
+        "training": {"batch_size": 75, "num_iterations": 4, "eval_every": 2},
+        "description": description,
+    }
+    if attack is not None:
+        data["attack"] = attack
+    if faults:
+        data["faults"] = faults
+    if compression is not None:
+        data["compression"] = compression
+    data.update(overrides)
+    return data
+
+
+_MOLS = {"scheme": "mols", "params": {"load": 5, "replication": 3}}
+_RAMANUJAN = {"scheme": "ramanujan", "params": {"m": 5, "s": 5}}
+_FRC = {"scheme": "frc", "params": {"num_workers": 15, "replication": 3}}
+_BASELINE = {"scheme": "baseline", "params": {"num_workers": 15}}
+
+_BYZSHIELD_MEDIAN = {"kind": "byzshield", "aggregator": "median"}
+
+
+def _catalog() -> dict[str, dict[str, Any]]:
+    entries: list[dict[str, Any]] = [
+        # -- MOLS (K=15, l=5, r=3) ------------------------------------------
+        _spec(
+            "mols-clean",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            description="Fault-free ByzShield/MOLS reference run",
+        ),
+        _spec(
+            "mols-alie-omniscient",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            description="Paper threat model: omniscient ALIE at fixed q",
+        ),
+        _spec(
+            "mols-constant-ramping",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "constant", "params": {"value": -1.0},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "ramping", "q": 0, "q_end": 4, "period": 1}},
+            description="Escalating compromise: q ramps 0 -> 4 over the run",
+        ),
+        _spec(
+            "mols-revgrad-rotating",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "reversed_gradient", "params": {"scale": 100.0},
+                    "selection": "rotating",
+                    "schedule": {"kind": "rotating", "q": 3, "period": 1, "stride": 2}},
+            description="Rotating compromised window, stride 2 per round",
+        ),
+        _spec(
+            "mols-alie-stragglers",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 3, "delay_model": "exponential", "delay": 0.5}}],
+            description="ALIE plus exponential stragglers (no timeout)",
+        ),
+        _spec(
+            "mols-alie-straggler-timeout",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 3, "delay_model": "exponential",
+                                "delay": 1.0, "timeout": 0.8}}],
+            description="Slow workers abandoned at the PS timeout lose their votes",
+        ),
+        _spec(
+            "mols-noise-dropout",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "gaussian_noise", "params": {"sigma": 50.0},
+                    "selection": "random",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[{"kind": "dropout", "params": {"probability": 0.15, "down_for": 2}}],
+            description="Random-selection noise attack under crash-stop churn",
+        ),
+        _spec(
+            "mols-corruption-zero",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            faults=[{"kind": "corruption", "params": {"probability": 0.1, "mode": "zero"}}],
+            description="No adversary; 10% of messages torn to zero in flight",
+        ),
+        _spec(
+            "mols-alie-all-faults",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[
+                {"kind": "stragglers",
+                 "params": {"count": 2, "delay_model": "fixed", "delay": 0.3}},
+                {"kind": "dropout", "params": {"probability": 0.1}},
+                {"kind": "corruption",
+                 "params": {"probability": 0.05, "mode": "scale", "factor": 10.0}},
+            ],
+            description="Kitchen sink: ALIE + stragglers + churn + corruption",
+        ),
+        _spec(
+            "mols-constant-topk",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "constant", "params": {"value": -1.0},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            compression={"name": "topk", "params": {"fraction": 0.5}},
+            description="Top-k compressed uplinks under the constant attack",
+        ),
+        _spec(
+            "mols-uniform-trimmed-mean",
+            _MOLS,
+            {"kind": "byzshield", "aggregator": "trimmed_mean",
+             "aggregator_params": {"trim": 3}},
+            attack={"name": "uniform_random", "params": {"magnitude": 5.0},
+                    "selection": "random",
+                    "schedule": {"kind": "static", "q": 3}},
+            description="Uniform-random attack vs trimmed-mean second stage",
+        ),
+        # -- Ramanujan (K=25, l=r=5) ----------------------------------------
+        _spec(
+            "ramanujan-clean",
+            _RAMANUJAN,
+            _BYZSHIELD_MEDIAN,
+            description="Fault-free K=25 Ramanujan Case-2 reference run",
+        ),
+        _spec(
+            "ramanujan-alie-omniscient",
+            _RAMANUJAN,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 3}},
+            description="Omniscient ALIE on the K=25 cluster",
+        ),
+        _spec(
+            "ramanujan-constant-rotating",
+            _RAMANUJAN,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "constant", "params": {"value": 2.0},
+                    "selection": "rotating",
+                    "schedule": {"kind": "rotating", "q": 5, "period": 2, "stride": 3}},
+            description="Rotating q=5 window shifting by 3 every 2 rounds",
+        ),
+        _spec(
+            "ramanujan-revgrad-stragglers",
+            _RAMANUJAN,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "reversed_gradient", "params": {"scale": 100.0},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 3}},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 5, "delay_model": "exponential",
+                                "delay": 0.5, "timeout": 1.0}}],
+            description="Reversed gradient with timeout-dropped stragglers",
+        ),
+        _spec(
+            "ramanujan-uniform-signsgd",
+            _RAMANUJAN,
+            {"kind": "byzshield", "aggregator": "signsgd"},
+            attack={"name": "uniform_random", "params": {"magnitude": 2.0},
+                    "selection": "random",
+                    "schedule": {"kind": "static", "q": 3}},
+            description="signSGD second stage under uniform-random payloads",
+        ),
+        # -- DETOX / FRC (K=15, r=3, 5 groups) ------------------------------
+        _spec(
+            "detox-mom-alie",
+            _FRC,
+            {"kind": "detox", "aggregator": "median_of_means",
+             "aggregator_params": {"num_groups": 3}},
+            attack={"name": "alie", "selection": "random",
+                    "schedule": {"kind": "static", "q": 2}},
+            description="DETOX median-of-means under random-selection ALIE",
+        ),
+        _spec(
+            "detox-multikrum-revgrad-dropout",
+            _FRC,
+            {"kind": "detox", "aggregator": "multi_krum",
+             "aggregator_params": {"num_byzantine": 1}},
+            attack={"name": "reversed_gradient", "params": {"scale": 100.0},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[{"kind": "dropout", "params": {"probability": 0.1, "down_for": 1}}],
+            description="DETOX Multi-Krum with reversed gradient and churn",
+        ),
+        _spec(
+            "detox-signsgd-constant-rotating",
+            _FRC,
+            {"kind": "detox", "aggregator": "signsgd"},
+            attack={"name": "constant", "params": {"value": -1.0},
+                    "selection": "rotating",
+                    "schedule": {"kind": "rotating", "q": 3, "period": 1, "stride": 1}},
+            description="DETOX signSGD against a rotating constant attack",
+        ),
+        # -- DRACO / FRC ----------------------------------------------------
+        _spec(
+            "draco-clean-stragglers",
+            _FRC,
+            {"kind": "draco"},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 4, "delay_model": "exponential", "delay": 0.4}}],
+            description="DRACO exact recovery, perturbed only by stragglers",
+        ),
+        _spec(
+            "draco-constant-q1",
+            _FRC,
+            {"kind": "draco"},
+            attack={"name": "constant", "params": {"value": 5.0},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 1}},
+            description="DRACO at its bound r=3 >= 2q+1 with q=1",
+        ),
+        # -- Vanilla baseline (K=15, no redundancy) -------------------------
+        _spec(
+            "vanilla-median-alie",
+            _BASELINE,
+            {"kind": "vanilla", "aggregator": "median"},
+            attack={"name": "alie", "selection": "random",
+                    "schedule": {"kind": "static", "q": 2}},
+            description="No-redundancy coordinate-median baseline under ALIE",
+        ),
+        _spec(
+            "vanilla-multikrum-revgrad-dropout",
+            _BASELINE,
+            {"kind": "vanilla", "aggregator": "multi_krum",
+             "aggregator_params": {"num_byzantine": 2}},
+            attack={"name": "reversed_gradient", "params": {"scale": 100.0},
+                    "selection": "random",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[{"kind": "dropout", "params": {"probability": 0.1}}],
+            description="Baseline Multi-Krum with churn on top of the attack",
+        ),
+        _spec(
+            "vanilla-mean-sign-compression",
+            _BASELINE,
+            {"kind": "vanilla", "aggregator": "mean"},
+            compression={"name": "sign", "params": {}},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 2, "delay_model": "fixed", "delay": 0.25}}],
+            description="Unattacked mean baseline with 1-bit sign uplinks",
+        ),
+    ]
+    catalog: dict[str, dict[str, Any]] = {}
+    for entry in entries:
+        if entry["name"] in catalog:  # pragma: no cover - authoring guard
+            raise ConfigurationError(f"duplicate scenario name {entry['name']!r}")
+        catalog[entry["name"]] = entry
+    return catalog
+
+
+_CATALOG = _catalog()
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of the golden scenario matrix."""
+    return sorted(_CATALOG)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Build the named scenario's spec (a fresh instance each call)."""
+    if name not in _CATALOG:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return ScenarioSpec.from_dict(_CATALOG[name])
+
+
+def all_scenarios() -> list[ScenarioSpec]:
+    """Every catalog scenario, in name order."""
+    return [get_scenario(name) for name in scenario_names()]

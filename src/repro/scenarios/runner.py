@@ -1,0 +1,277 @@
+"""Turn a :class:`~repro.scenarios.spec.ScenarioSpec` into a live run.
+
+The runner is the only place that knows how to map spec sections onto the
+library's registries and constructors: assignment schemes, aggregation
+pipelines, attacks + schedules, fault injectors, compressors, the synthetic
+datasets and the MLP substrate.  Each :meth:`ScenarioRunner.run` builds every
+component fresh from the spec (no state leaks between runs), drives the
+existing :class:`~repro.training.trainer.DistributedTrainer` through the
+VoteTensor fast path, and records a bit-exact
+:class:`~repro.scenarios.trace.RunTrace` via the trainer's round observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aggregation.registry import create_aggregator
+from repro.assignment.registry import create_scheme
+from repro.attacks.base import Attack
+from repro.attacks.registry import create_attack
+from repro.attacks.schedules import AdversarySchedule, ScheduledSelector
+from repro.cluster.faults import (
+    DropoutInjector,
+    FaultInjector,
+    MessageCorruptionInjector,
+    StragglerInjector,
+)
+from repro.cluster.simulator import TrainingCluster
+from repro.cluster.worker import WorkerPool
+from repro.compression.compressors import create_compressor
+from repro.core.pipelines import (
+    AggregationPipeline,
+    ByzShieldPipeline,
+    DetoxPipeline,
+    DracoPipeline,
+    VanillaPipeline,
+)
+from repro.data.datasets import Dataset, train_test_split
+from repro.data.synthetic import make_gaussian_mixture, make_synthetic_images
+from repro.exceptions import ConfigurationError
+from repro.graphs.bipartite import BipartiteAssignment
+from repro.nn.models import build_mlp
+from repro.scenarios.spec import FaultSpec, ScenarioSpec
+from repro.scenarios.trace import RoundTrace, RunTrace, array_digest, hex_float
+from repro.training.config import TrainingConfig
+from repro.training.gradients import ModelGradientComputer
+from repro.training.history import TrainingHistory
+from repro.training.trainer import DistributedTrainer
+
+__all__ = ["ScenarioResult", "ScenarioRunner", "run_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produces."""
+
+    spec: ScenarioSpec
+    trace: RunTrace
+    history: TrainingHistory
+
+    def summary(self) -> dict[str, object]:
+        """Flat row for reports and the CLI."""
+        rounds = self.trace.rounds
+        history = self.history.summary()
+        dropped = sum(
+            1 for r in rounds for f in r.faults if f.get("dropped")
+        )
+        corrupted = sum(
+            1 for r in rounds for f in r.faults if f.get("kind") == "corruption"
+        )
+        return {
+            "scenario": self.spec.name,
+            "rounds": len(rounds),
+            "final_accuracy": history["final_accuracy"],
+            "mean_distortion": history["mean_distortion"],
+            "max_q": max((r.q for r in rounds), default=0),
+            "dropped_contributions": dropped,
+            "corrupted_messages": corrupted,
+            "simulated_time": self.trace.total_simulated_time,
+            "final_params_digest": self.trace.final_params_digest,
+        }
+
+
+def _build_fault_injector(spec: FaultSpec) -> FaultInjector:
+    try:
+        if spec.kind == "stragglers":
+            return StragglerInjector(**spec.params)
+        if spec.kind == "dropout":
+            return DropoutInjector(**spec.params)
+        return MessageCorruptionInjector(**spec.params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for fault {spec.kind!r}: {exc}"
+        ) from exc
+
+
+class ScenarioRunner:
+    """Executes one :class:`ScenarioSpec` and records its trace."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+
+    # -- component assembly --------------------------------------------------
+    def _build_assignment(self) -> BipartiteAssignment:
+        try:
+            scheme = create_scheme(self.spec.cluster.scheme, **self.spec.cluster.params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad parameters for scheme {self.spec.cluster.scheme!r}: {exc}"
+            ) from exc
+        return scheme.assignment
+
+    def _build_pipeline(self, assignment: BipartiteAssignment) -> AggregationPipeline:
+        section = self.spec.pipeline
+        max_q = 0
+        if self.spec.attack is not None:
+            max_q = AdversarySchedule(**self.spec.attack.schedule.to_dict()).max_q
+        if section.kind == "draco":
+            return DracoPipeline(
+                assignment, num_byzantine=max_q, vote_tolerance=section.vote_tolerance
+            )
+        try:
+            aggregator = create_aggregator(section.aggregator, **section.aggregator_params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad parameters for aggregator {section.aggregator!r}: {exc}"
+            ) from exc
+        if section.kind == "byzshield":
+            return ByzShieldPipeline(
+                assignment, aggregator=aggregator, vote_tolerance=section.vote_tolerance
+            )
+        if section.kind == "detox":
+            return DetoxPipeline(
+                assignment, aggregator=aggregator, vote_tolerance=section.vote_tolerance
+            )
+        return VanillaPipeline(assignment, aggregator=aggregator)
+
+    def _build_datasets(self) -> tuple[Dataset, Dataset]:
+        data = self.spec.data
+        total = data.num_train + data.num_test
+        if data.kind == "gaussian":
+            dataset = make_gaussian_mixture(
+                num_samples=total,
+                num_classes=data.num_classes,
+                dim=data.dim,
+                separation=data.separation,
+                seed=self.spec.seed,
+            )
+        else:
+            dataset = make_synthetic_images(
+                num_samples=total,
+                num_classes=data.num_classes,
+                image_size=data.image_size,
+                channels=data.channels,
+                seed=self.spec.seed,
+                flatten=True,
+            )
+        return train_test_split(
+            dataset, test_fraction=data.num_test / total, seed=self.spec.seed + 1
+        )
+
+    def _build_adversary(self) -> tuple[Attack | None, ScheduledSelector | None]:
+        section = self.spec.attack
+        if section is None:
+            return None, None
+        try:
+            attack = create_attack(section.name, **section.params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad parameters for attack {section.name!r}: {exc}"
+            ) from exc
+        schedule = AdversarySchedule(**section.schedule.to_dict())
+        selector = ScheduledSelector(
+            schedule, selection=section.selection, seed=self.spec.seed
+        )
+        return attack, selector
+
+    def build_trainer(self) -> DistributedTrainer:
+        """Assemble a fresh trainer for this spec (no observer attached)."""
+        return self._assemble(round_observer=None)
+
+    def _assemble(self, round_observer) -> DistributedTrainer:
+        spec = self.spec
+        assignment = self._build_assignment()
+        pipeline = self._build_pipeline(assignment)
+        train_dataset, test_dataset = self._build_datasets()
+        model = build_mlp(
+            train_dataset.flat_feature_dim,
+            num_classes=spec.data.num_classes,
+            hidden=spec.model.hidden,
+            seed=spec.seed,
+        )
+        gradient_computer = ModelGradientComputer(model)
+        compressor = None
+        if spec.compression is not None:
+            try:
+                compressor = create_compressor(
+                    spec.compression.name, **spec.compression.params
+                )
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"bad parameters for compressor {spec.compression.name!r}: {exc}"
+                ) from exc
+        pool = WorkerPool(assignment, gradient_computer, compressor=compressor)
+        attack, selector = self._build_adversary()
+        cluster = TrainingCluster(
+            assignment=assignment,
+            worker_pool=pool,
+            attack=attack,
+            selector=selector,
+            seed=spec.seed,
+            fault_injectors=tuple(
+                _build_fault_injector(f) for f in spec.faults
+            ),
+        )
+        config = TrainingConfig(
+            batch_size=spec.training.batch_size,
+            num_iterations=spec.training.num_iterations,
+            learning_rate=spec.training.learning_rate,
+            lr_decay=spec.training.lr_decay,
+            lr_period=spec.training.lr_period,
+            momentum=spec.training.momentum,
+            weight_decay=spec.training.weight_decay,
+            eval_every=spec.training.eval_every,
+            seed=spec.seed,
+        )
+        return DistributedTrainer(
+            cluster=cluster,
+            pipeline=pipeline,
+            gradient_computer=gradient_computer,
+            train_dataset=train_dataset,
+            test_dataset=test_dataset,
+            config=config,
+            label=spec.name,
+            round_observer=round_observer,
+        )
+
+    # -- execution -----------------------------------------------------------
+    def run(self, verbose: bool = False) -> ScenarioResult:
+        """Execute the scenario and return its trace + training history."""
+        trace = RunTrace(scenario=self.spec.name, spec_digest=self.spec.digest())
+
+        def observe(iteration, round_result, aggregate, server):
+            tensor = round_result.vote_tensor
+            # Recomputes the majority vote the aggregation just ran.  This is
+            # deliberate: scenarios are tiny by design (the whole golden
+            # matrix replays in ~1 s), normal training attaches no observer
+            # and pays nothing, and caching winners on the pipeline would
+            # risk serving stale results to callers that mutate the tensor
+            # between calls.
+            winners = trainer.pipeline.post_vote_matrix(tensor)
+            trace.append(
+                RoundTrace(
+                    iteration=iteration,
+                    q=len(round_result.byzantine_workers),
+                    byzantine=tuple(round_result.byzantine_workers),
+                    num_distorted=len(round_result.distorted_files),
+                    votes_digest=array_digest(tensor.values),
+                    winners_digest=array_digest(winners),
+                    aggregate_digest=array_digest(aggregate),
+                    params_digest=server.state_digest(),
+                    mean_loss_hex=hex_float(round_result.mean_file_loss),
+                    round_time_hex=hex_float(round_result.round_time),
+                    faults=tuple(e.as_dict() for e in round_result.fault_events),
+                )
+            )
+
+        trainer = self._assemble(round_observer=observe)
+        history = trainer.train(verbose=verbose)
+        trace.final_params_digest = trainer.server.state_digest()
+        trace.final_accuracy_hex = hex_float(history.final_accuracy)
+        return ScenarioResult(spec=self.spec, trace=trace, history=history)
+
+
+def run_scenario(spec: ScenarioSpec, verbose: bool = False) -> ScenarioResult:
+    """Convenience wrapper: build a runner and execute the spec once."""
+    return ScenarioRunner(spec).run(verbose=verbose)

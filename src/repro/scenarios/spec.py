@@ -1,0 +1,457 @@
+"""Declarative scenario specification.
+
+A :class:`ScenarioSpec` pins down *everything* that determines a simulated
+training run — cluster geometry, aggregation pipeline, dataset, model,
+training schedule, adversary (attack + schedule + selection), benign fault
+models, uplink compression and the seed — as plain data.  Specs round-trip
+through dicts/JSON (``from_dict`` / ``to_dict`` / ``from_json_file``), reject
+unknown keys loudly, and hash to a stable digest so golden traces can detect
+when a scenario definition itself has drifted.
+
+The spec layer deliberately knows nothing about the simulator: the
+:mod:`~repro.scenarios.runner` turns a spec into live components via the
+assignment / attack / aggregation / compression registries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ClusterSpec",
+    "PipelineSpec",
+    "DataSpec",
+    "ModelSpec",
+    "TrainingSpec",
+    "ScheduleSpec",
+    "AttackSpec",
+    "FaultSpec",
+    "CompressionSpec",
+    "ScenarioSpec",
+]
+
+
+def _check_keys(section: str, data: Mapping[str, Any], allowed: tuple[str, ...]) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in scenario section {section!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _prune(data: dict[str, Any]) -> dict[str, Any]:
+    """Drop ``None`` values and empty containers for a canonical dict form."""
+    return {
+        key: value
+        for key, value in data.items()
+        if value is not None and value != {} and value != []
+    }
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Which assignment scheme builds the worker/file graph.
+
+    ``params`` is forwarded verbatim to the assignment registry, e.g.
+    ``{"load": 5, "replication": 3}`` for MOLS or ``{"m": 5, "s": 5}`` for
+    Ramanujan.
+    """
+
+    scheme: str = "mols"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        _check_keys("cluster", data, ("scheme", "params"))
+        return cls(scheme=str(data.get("scheme", "mols")), params=dict(data.get("params", {})))
+
+    def to_dict(self) -> dict[str, Any]:
+        return _prune({"scheme": self.scheme, "params": dict(self.params)})
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Aggregation pipeline: kind + second-stage robust rule.
+
+    ``kind`` is ``"byzshield"``, ``"detox"``, ``"draco"`` or ``"vanilla"``;
+    ``aggregator``/``aggregator_params`` name the registry rule (ignored by
+    DRACO, which always averages); ``vote_tolerance`` loosens the majority
+    vote's exact-equality matching.
+    """
+
+    kind: str = "byzshield"
+    aggregator: str = "median"
+    aggregator_params: dict[str, Any] = field(default_factory=dict)
+    vote_tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("byzshield", "detox", "draco", "vanilla"):
+            raise ConfigurationError(
+                f"unknown pipeline kind {self.kind!r}; expected byzshield, "
+                "detox, draco or vanilla"
+            )
+        if self.vote_tolerance < 0:
+            raise ConfigurationError(
+                f"vote_tolerance must be non-negative, got {self.vote_tolerance}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
+        _check_keys(
+            "pipeline", data, ("kind", "aggregator", "aggregator_params", "vote_tolerance")
+        )
+        return cls(
+            kind=str(data.get("kind", "byzshield")),
+            aggregator=str(data.get("aggregator", "median")),
+            aggregator_params=dict(data.get("aggregator_params", {})),
+            vote_tolerance=float(data.get("vote_tolerance", 0.0)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {
+            "kind": self.kind,
+            "aggregator": self.aggregator,
+            "aggregator_params": dict(self.aggregator_params),
+        }
+        if self.vote_tolerance:
+            out["vote_tolerance"] = self.vote_tolerance
+        return _prune(out)
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Synthetic dataset parameters (Gaussian mixture or synthetic images)."""
+
+    kind: str = "gaussian"
+    num_train: int = 300
+    num_test: int = 100
+    num_classes: int = 4
+    dim: int = 12
+    separation: float = 3.0
+    image_size: int = 8
+    channels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gaussian", "images"):
+            raise ConfigurationError(
+                f"unknown data kind {self.kind!r}; expected 'gaussian' or 'images'"
+            )
+        for name in ("num_train", "num_test", "num_classes", "dim"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DataSpec":
+        _check_keys(
+            "data",
+            data,
+            (
+                "kind",
+                "num_train",
+                "num_test",
+                "num_classes",
+                "dim",
+                "separation",
+                "image_size",
+                "channels",
+            ),
+        )
+        defaults = cls()
+        return cls(
+            kind=str(data.get("kind", defaults.kind)),
+            num_train=int(data.get("num_train", defaults.num_train)),
+            num_test=int(data.get("num_test", defaults.num_test)),
+            num_classes=int(data.get("num_classes", defaults.num_classes)),
+            dim=int(data.get("dim", defaults.dim)),
+            separation=float(data.get("separation", defaults.separation)),
+            image_size=int(data.get("image_size", defaults.image_size)),
+            channels=int(data.get("channels", defaults.channels)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """MLP head trained on the synthetic substrate."""
+
+    hidden: tuple[int, ...] = (16,)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelSpec":
+        _check_keys("model", data, ("hidden",))
+        return cls(hidden=tuple(int(h) for h in data.get("hidden", (16,))))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"hidden": list(self.hidden)}
+
+
+@dataclass(frozen=True)
+class TrainingSpec:
+    """Optimization schedule of the run."""
+
+    batch_size: int = 75
+    num_iterations: int = 4
+    learning_rate: float = 0.05
+    lr_decay: float = 0.96
+    lr_period: int = 15
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    eval_every: int = 2
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrainingSpec":
+        _check_keys(
+            "training",
+            data,
+            (
+                "batch_size",
+                "num_iterations",
+                "learning_rate",
+                "lr_decay",
+                "lr_period",
+                "momentum",
+                "weight_decay",
+                "eval_every",
+            ),
+        )
+        defaults = cls()
+        return cls(
+            batch_size=int(data.get("batch_size", defaults.batch_size)),
+            num_iterations=int(data.get("num_iterations", defaults.num_iterations)),
+            learning_rate=float(data.get("learning_rate", defaults.learning_rate)),
+            lr_decay=float(data.get("lr_decay", defaults.lr_decay)),
+            lr_period=int(data.get("lr_period", defaults.lr_period)),
+            momentum=float(data.get("momentum", defaults.momentum)),
+            weight_decay=float(data.get("weight_decay", defaults.weight_decay)),
+            eval_every=int(data.get("eval_every", defaults.eval_every)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Adversary schedule (see :class:`repro.attacks.schedules.AdversarySchedule`)."""
+
+    kind: str = "static"
+    q: int = 0
+    q_end: int | None = None
+    period: int = 1
+    stride: int = 1
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleSpec":
+        _check_keys("attack.schedule", data, ("kind", "q", "q_end", "period", "stride"))
+        return cls(
+            kind=str(data.get("kind", "static")),
+            q=int(data.get("q", 0)),
+            q_end=None if data.get("q_end") is None else int(data["q_end"]),
+            period=int(data.get("period", 1)),
+            stride=int(data.get("stride", 1)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "q": self.q}
+        if self.q_end is not None:
+            out["q_end"] = self.q_end
+        if self.period != 1:
+            out["period"] = self.period
+        if self.stride != 1:
+            out["stride"] = self.stride
+        return out
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """The adversary: payload generator + worker selection + budget schedule."""
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    selection: str = "omniscient"
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+
+    def __post_init__(self) -> None:
+        if self.selection not in ("omniscient", "random", "rotating"):
+            raise ConfigurationError(
+                f"unknown selection {self.selection!r}; expected omniscient, "
+                "random or rotating"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AttackSpec":
+        _check_keys("attack", data, ("name", "params", "selection", "schedule"))
+        if "name" not in data:
+            raise ConfigurationError("attack section requires a 'name'")
+        return cls(
+            name=str(data["name"]),
+            params=dict(data.get("params", {})),
+            selection=str(data.get("selection", "omniscient")),
+            schedule=ScheduleSpec.from_dict(data.get("schedule", {})),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _prune(
+            {
+                "name": self.name,
+                "params": dict(self.params),
+                "selection": self.selection,
+                "schedule": self.schedule.to_dict(),
+            }
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One benign fault model; ``params`` match the injector's constructor.
+
+    ``kind`` is ``"stragglers"``, ``"dropout"`` or ``"corruption"``.
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stragglers", "dropout", "corruption"):
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected stragglers, "
+                "dropout or corruption"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        _check_keys("faults[]", data, ("kind", "params"))
+        if "kind" not in data:
+            raise ConfigurationError("fault section requires a 'kind'")
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+    def to_dict(self) -> dict[str, Any]:
+        return _prune({"kind": self.kind, "params": dict(self.params)})
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Uplink gradient compression applied worker-side (once per file)."""
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompressionSpec":
+        _check_keys("compression", data, ("name", "params"))
+        if "name" not in data:
+            raise ConfigurationError("compression section requires a 'name'")
+        return cls(name=str(data["name"]), params=dict(data.get("params", {})))
+
+    def to_dict(self) -> dict[str, Any]:
+        return _prune({"name": self.name, "params": dict(self.params)})
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, reproducible description of one simulated training run."""
+
+    name: str
+    seed: int = 0
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    data: DataSpec = field(default_factory=DataSpec)
+    model: ModelSpec = field(default_factory=ModelSpec)
+    training: TrainingSpec = field(default_factory=TrainingSpec)
+    attack: AttackSpec | None = None
+    faults: tuple[FaultSpec, ...] = ()
+    compression: CompressionSpec | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario requires a non-empty name")
+
+    # -- dict / JSON round-trip ---------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _check_keys(
+            "scenario",
+            data,
+            (
+                "name",
+                "seed",
+                "cluster",
+                "pipeline",
+                "data",
+                "model",
+                "training",
+                "attack",
+                "faults",
+                "compression",
+                "description",
+            ),
+        )
+        if "name" not in data:
+            raise ConfigurationError("scenario requires a 'name'")
+        attack = data.get("attack")
+        compression = data.get("compression")
+        return cls(
+            name=str(data["name"]),
+            seed=int(data.get("seed", 0)),
+            cluster=ClusterSpec.from_dict(data.get("cluster", {})),
+            pipeline=PipelineSpec.from_dict(data.get("pipeline", {})),
+            data=DataSpec.from_dict(data.get("data", {})),
+            model=ModelSpec.from_dict(data.get("model", {})),
+            training=TrainingSpec.from_dict(data.get("training", {})),
+            attack=None if attack is None else AttackSpec.from_dict(attack),
+            faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", ())),
+            compression=(
+                None if compression is None else CompressionSpec.from_dict(compression)
+            ),
+            description=str(data.get("description", "")),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: "str | pathlib.Path") -> "ScenarioSpec":
+        path = pathlib.Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot load scenario spec {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "seed": self.seed,
+            "cluster": self.cluster.to_dict(),
+            "pipeline": self.pipeline.to_dict(),
+            "data": self.data.to_dict(),
+            "model": self.model.to_dict(),
+            "training": self.training.to_dict(),
+        }
+        if self.attack is not None:
+            out["attack"] = self.attack.to_dict()
+        if self.faults:
+            out["faults"] = [f.to_dict() for f in self.faults]
+        if self.compression is not None:
+            out["compression"] = self.compression.to_dict()
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def digest(self) -> str:
+        """Stable hash of the canonical spec — traces embed it so a replay
+        against an edited scenario fails loudly instead of comparing apples
+        to oranges."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]

@@ -55,6 +55,11 @@ class DistributedTrainer:
         :class:`~repro.core.vote_tensor.VoteTensor` representation (default).
         The legacy dict-of-dicts path produces bit-identical updates and is
         kept for debugging and the equivalence tests.
+    round_observer:
+        Optional callback invoked after every optimizer step as
+        ``observer(iteration, round_result, aggregate, server)``; the
+        scenario engine uses it to record per-round traces without the
+        trainer knowing anything about tracing.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class DistributedTrainer:
         config: TrainingConfig,
         label: str = "run",
         use_tensor_path: bool = True,
+        round_observer=None,
     ) -> None:
         assignment = cluster.assignment
         if config.batch_size % assignment.num_files != 0:
@@ -82,6 +88,7 @@ class DistributedTrainer:
         self.config = config
         self.label = label
         self.use_tensor_path = bool(use_tensor_path)
+        self.round_observer = round_observer
 
         schedule = StepDecaySchedule(
             config.learning_rate, config.lr_decay, config.lr_period
@@ -115,10 +122,12 @@ class DistributedTrainer:
         learning_rate = self.server.optimizer.schedule.rate(self.server.optimizer.iteration)
         if self.use_tensor_path:
             round_result = self.cluster.run_round_tensor(params, file_data, iteration)
-            self.server.update_tensor(round_result.vote_tensor)
+            aggregate = self.server.update_tensor(round_result.vote_tensor)
         else:
             round_result = self.cluster.run_round(params, file_data, iteration)
-            self.server.update(round_result.file_votes)
+            aggregate = self.server.update(round_result.file_votes)
+        if self.round_observer is not None:
+            self.round_observer(iteration, round_result, aggregate, self.server)
         return IterationRecord(
             iteration=iteration,
             train_loss=round_result.mean_file_loss,

@@ -1,0 +1,24 @@
+"""Stable content digests of numpy arrays.
+
+Shared by the parameter server's :meth:`state_digest` and the scenario trace
+layer so there is exactly one definition of "bit-identical" in the repo: two
+arrays digest equally iff they have the same shape and the same float64 bit
+patterns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["array_digest"]
+
+
+def array_digest(array: np.ndarray) -> str:
+    """16-hex-char digest of an array's shape and exact float64 contents."""
+    payload = np.ascontiguousarray(array, dtype=np.float64)
+    hasher = hashlib.sha256()
+    hasher.update(repr(payload.shape).encode())
+    hasher.update(payload.tobytes())
+    return hasher.hexdigest()[:16]

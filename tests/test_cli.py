@@ -106,3 +106,73 @@ def test_parser_requires_command():
 def test_unknown_choice_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["table", "table99"])
+
+
+def test_scenario_list_command(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "mols-alie-all-faults" in out
+    assert "repro scenario run" in out
+
+
+def test_scenario_run_catalog_name(capsys):
+    assert main(["scenario", "run", "mols-clean"]) == 0
+    out = capsys.readouterr().out
+    assert "mols-clean" in out
+    assert "final_params_digest" in out
+
+
+def test_scenario_run_spec_file(tmp_path, capsys):
+    example = pathlib.Path(__file__).parent.parent / "examples" / "scenario_mols_alie_faults.json"
+    trace_out = tmp_path / "trace.json"
+    assert main(["scenario", "run", str(example), "--trace-out", str(trace_out)]) == 0
+    out = capsys.readouterr().out
+    assert "example-mols-alie-faults" in out
+    assert trace_out.exists()
+
+
+def test_scenario_run_requires_target(capsys):
+    assert main(["scenario", "run"]) == 1
+    assert "requires" in capsys.readouterr().err
+
+
+def test_scenario_run_unknown_name_fails_cleanly(capsys):
+    assert main(["scenario", "run", "no-such-scenario"]) == 1
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenario_record_and_replay_round_trip(tmp_path, capsys):
+    golden_dir = tmp_path / "golden"
+    assert (
+        main(["scenario", "record", "--name", "mols-clean", "--golden-dir", str(golden_dir)])
+        == 0
+    )
+    assert (golden_dir / "mols-clean.json").exists()
+    assert (
+        main(["scenario", "replay", "--name", "mols-clean", "--golden-dir", str(golden_dir)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "ok mols-clean" in out
+
+
+def test_scenario_matrix_ablation(capsys, tmp_path):
+    csv_path = tmp_path / "matrix.csv"
+    assert main(["--csv", str(csv_path), "ablation", "scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "Fault-injection scenario matrix" in out
+    assert "mols-alie-all-faults" in out
+    assert csv_path.read_text().startswith("scenario,")
+
+
+def test_scenario_run_catalog_name_wins_over_cwd_entry(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mols-clean").mkdir()  # would shadow the catalog if paths won
+    assert main(["scenario", "run", "mols-clean"]) == 0
+    assert "final_params_digest" in capsys.readouterr().out
+
+
+def test_scenario_record_accepts_positional_name(tmp_path, capsys):
+    golden_dir = tmp_path / "g"
+    assert main(["scenario", "record", "mols-clean", "--golden-dir", str(golden_dir)]) == 0
+    assert [p.name for p in golden_dir.iterdir()] == ["mols-clean.json"]

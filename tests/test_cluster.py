@@ -212,3 +212,63 @@ def test_timing_unknown_aggregator_defaults():
     byzshield = MOLSAssignment(load=5, replication=3).assignment
     timing = estimate_iteration_timing(byzshield, 750, 1000, aggregator_name="mystery")
     assert timing.aggregation > 0.0
+
+
+def test_worker_pool_rejects_compressor_without_shared_computation(mols_assignment):
+    """Stochastic compressors would compress each copy differently in
+    per-worker recomputation mode, breaking exact majority voting."""
+    import pytest as _pytest
+
+    from repro.compression.compressors import RandomKCompressor
+    from repro.exceptions import TrainingError as _TrainingError
+
+    def fn(params, inputs, labels):
+        return np.zeros(4), 0.0
+
+    with _pytest.raises(_TrainingError, match="shared_computation"):
+        WorkerPool(
+            mols_assignment,
+            fn,
+            shared_computation=False,
+            compressor=RandomKCompressor(0.5),
+        )
+
+
+def test_fault_streams_independent_with_generator_seed(mols_assignment):
+    """Even when the cluster is seeded with a live Generator, toggling fault
+    injection must not change the adversary's draws (the fault base seed is
+    derived once at construction)."""
+    from repro.attacks.constant import ConstantAttack
+    from repro.attacks.selection import RandomSelector
+    from repro.cluster.faults import MessageCorruptionInjector
+
+    def fn(params, inputs, labels):
+        return np.asarray(inputs).sum(axis=0)[:4], 0.5
+
+    file_data = {
+        i: (np.ones((2, 4)) * (i + 1), np.zeros(2))
+        for i in range(mols_assignment.num_files)
+    }
+    params = np.zeros(4)
+
+    def byzantine_sets(with_faults: bool):
+        pool = WorkerPool(mols_assignment, fn)
+        injectors = (
+            (MessageCorruptionInjector(probability=0.3, mode="zero"),)
+            if with_faults
+            else ()
+        )
+        cluster = TrainingCluster(
+            assignment=mols_assignment,
+            worker_pool=pool,
+            attack=ConstantAttack(value=-1.0),
+            selector=RandomSelector(num_byzantine=3),
+            seed=np.random.default_rng(42),
+            fault_injectors=injectors,
+        )
+        return [
+            cluster.run_round_tensor(params, file_data, t).byzantine_workers
+            for t in range(3)
+        ]
+
+    assert byzantine_sets(False) == byzantine_sets(True)

@@ -1,0 +1,166 @@
+"""Fault injectors: stragglers, dropout/churn, message corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import (
+    DropoutInjector,
+    FaultContext,
+    MessageCorruptionInjector,
+    StragglerInjector,
+    round_duration,
+)
+from repro.core.vote_tensor import VoteTensor
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def tensor(mols_assignment):
+    honest = np.arange(mols_assignment.num_files, dtype=np.float64)[:, None] + np.ones(4)
+    return VoteTensor.from_honest(mols_assignment, honest)
+
+
+def make_context(assignment, seed=0, iteration=0):
+    return FaultContext(
+        assignment=assignment, iteration=iteration, rng=np.random.default_rng(seed)
+    )
+
+
+class TestStragglers:
+    def test_no_timeout_only_delays(self, tensor, mols_assignment):
+        before = tensor.values.copy()
+        injector = StragglerInjector(count=3, delay_model="exponential", delay=0.5)
+        events = injector.inject(tensor, make_context(mols_assignment))
+        assert len(events) == 3
+        assert all(e.delay > 0 and not e.dropped for e in events)
+        np.testing.assert_array_equal(tensor.values, before)
+        assert round_duration(events) == max(e.delay for e in events)
+
+    def test_timeout_drops_votes_and_clamps_delay(self, tensor, mols_assignment):
+        injector = StragglerInjector(
+            count=5, delay_model="fixed", delay=2.0, timeout=1.0
+        )
+        events = injector.inject(tensor, make_context(mols_assignment))
+        assert all(e.dropped and e.delay == 1.0 for e in events)
+        for event in events:
+            mask = tensor.workers == event.worker
+            assert np.all(tensor.values[mask] == 0.0)
+        # Untouched workers keep their honest votes.
+        untouched = ~np.isin(tensor.workers, [e.worker for e in events])
+        assert np.all(tensor.values[untouched] != 0.0)
+
+    def test_count_clamped_to_cluster_size(self, tensor, mols_assignment):
+        injector = StragglerInjector(count=99, delay_model="fixed", delay=0.5)
+        events = injector.inject(tensor, make_context(mols_assignment))
+        assert len(events) == mols_assignment.num_workers
+
+    def test_deterministic_per_rng(self, tensor, mols_assignment):
+        injector = StragglerInjector(count=3, delay_model="exponential", delay=0.5)
+        one = injector.inject(tensor, make_context(mols_assignment, seed=9))
+        two = injector.inject(tensor, make_context(mols_assignment, seed=9))
+        assert one == two
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StragglerInjector(count=-1)
+        with pytest.raises(ConfigurationError):
+            StragglerInjector(count=1, delay_model="psychic")
+        with pytest.raises(ConfigurationError):
+            StragglerInjector(count=1, delay=0.0)
+        with pytest.raises(ConfigurationError):
+            StragglerInjector(count=1, timeout=-2.0)
+
+
+class TestDropout:
+    def test_downed_worker_loses_all_votes(self, tensor, mols_assignment):
+        injector = DropoutInjector(probability=1.0)
+        events = injector.inject(tensor, make_context(mols_assignment))
+        assert len(events) == mols_assignment.num_workers
+        assert np.all(tensor.values == 0.0)
+
+    def test_churn_keeps_worker_down_for_down_for_rounds(self, mols_assignment):
+        injector = DropoutInjector(probability=1.0, down_for=2)
+        honest = np.ones((mols_assignment.num_files, 2))
+        t0 = VoteTensor.from_honest(mols_assignment, honest)
+        injector.inject(t0, make_context(mols_assignment, iteration=0))
+        # Round 1: probability no longer matters — everyone is already down.
+        injector.probability = 0.0
+        t1 = VoteTensor.from_honest(mols_assignment, honest)
+        events1 = injector.inject(t1, make_context(mols_assignment, iteration=1))
+        assert len(events1) == mols_assignment.num_workers
+        assert np.all(t1.values == 0.0)
+        # Round 2: everyone has rejoined.
+        t2 = VoteTensor.from_honest(mols_assignment, honest)
+        events2 = injector.inject(t2, make_context(mols_assignment, iteration=2))
+        assert events2 == []
+        assert np.all(t2.values == 1.0)
+
+    def test_reset_clears_churn_state(self, tensor, mols_assignment):
+        injector = DropoutInjector(probability=1.0, down_for=5)
+        injector.inject(tensor, make_context(mols_assignment))
+        injector.reset()
+        injector.probability = 0.0
+        fresh = VoteTensor.from_honest(
+            mols_assignment, np.ones((mols_assignment.num_files, 2))
+        )
+        assert injector.inject(fresh, make_context(mols_assignment)) == []
+
+    def test_rng_consumption_independent_of_history(self, mols_assignment):
+        """The draw sequence depends only on (seed, K), not on who is down."""
+        honest = np.ones((mols_assignment.num_files, 2))
+        a = DropoutInjector(probability=0.3)
+        b = DropoutInjector(probability=0.3, down_for=3)
+        for iteration in range(4):
+            ta = VoteTensor.from_honest(mols_assignment, honest)
+            tb = VoteTensor.from_honest(mols_assignment, honest)
+            ea = a.inject(ta, make_context(mols_assignment, seed=iteration))
+            eb = b.inject(tb, make_context(mols_assignment, seed=iteration))
+            # Identical per-round draws: every worker a crashes also goes (or
+            # already is) down for b, despite b's different churn history.
+            assert {e.worker for e in ea} <= {e.worker for e in eb}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DropoutInjector(probability=1.5)
+        with pytest.raises(ConfigurationError):
+            DropoutInjector(probability=0.5, down_for=0)
+
+
+class TestCorruption:
+    def test_zero_mode(self, tensor, mols_assignment):
+        injector = MessageCorruptionInjector(probability=1.0, mode="zero")
+        events = injector.inject(tensor, make_context(mols_assignment))
+        assert np.all(tensor.values == 0.0)
+        assert len(events) == tensor.num_files * tensor.replication
+
+    def test_scale_mode(self, tensor, mols_assignment):
+        before = tensor.values.copy()
+        injector = MessageCorruptionInjector(probability=1.0, mode="scale", factor=10.0)
+        injector.inject(tensor, make_context(mols_assignment))
+        np.testing.assert_allclose(tensor.values, before * 10.0)
+
+    def test_noise_mode_changes_only_hit_messages(self, tensor, mols_assignment):
+        before = tensor.values.copy()
+        injector = MessageCorruptionInjector(probability=0.2, mode="noise", factor=1.0)
+        events = injector.inject(tensor, make_context(mols_assignment))
+        changed = {(e.file, tensor.slot_of(e.file, e.worker)) for e in events}
+        for i in range(tensor.num_files):
+            for k in range(tensor.replication):
+                same = np.array_equal(tensor.values[i, k], before[i, k])
+                assert same != ((i, k) in changed)
+
+    def test_zero_probability_is_a_noop(self, tensor, mols_assignment):
+        before = tensor.values.copy()
+        injector = MessageCorruptionInjector(probability=0.0)
+        assert injector.inject(tensor, make_context(mols_assignment)) == []
+        np.testing.assert_array_equal(tensor.values, before)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MessageCorruptionInjector(probability=-0.1)
+        with pytest.raises(ConfigurationError):
+            MessageCorruptionInjector(probability=0.5, mode="garble")
+        with pytest.raises(ConfigurationError):
+            MessageCorruptionInjector(probability=0.5, factor=float("inf"))

@@ -1,0 +1,120 @@
+"""ScenarioSpec construction, validation and dict/JSON round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    AttackSpec,
+    FaultSpec,
+    PipelineSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    get_scenario,
+    scenario_names,
+)
+
+
+def minimal_dict(**overrides):
+    data = {"name": "t", "cluster": {"scheme": "mols", "params": {"load": 5, "replication": 3}}}
+    data.update(overrides)
+    return data
+
+
+class TestFromDict:
+    def test_defaults_fill_unspecified_sections(self):
+        spec = ScenarioSpec.from_dict(minimal_dict())
+        assert spec.seed == 0
+        assert spec.pipeline.kind == "byzshield"
+        assert spec.attack is None
+        assert spec.faults == ()
+        assert spec.compression is None
+
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            ScenarioSpec.from_dict({"seed": 3})
+
+    def test_rejects_unknown_top_level_key(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            ScenarioSpec.from_dict(minimal_dict(typo_section={}))
+
+    def test_rejects_unknown_nested_key(self):
+        with pytest.raises(ConfigurationError, match="pipeline"):
+            ScenarioSpec.from_dict(minimal_dict(pipeline={"kind": "byzshield", "agg": "x"}))
+
+    def test_rejects_unknown_pipeline_kind(self):
+        with pytest.raises(ConfigurationError, match="pipeline kind"):
+            PipelineSpec(kind="magic")
+
+    def test_rejects_unknown_fault_kind(self):
+        with pytest.raises(ConfigurationError, match="fault kind"):
+            FaultSpec(kind="gremlins")
+
+    def test_rejects_unknown_selection(self):
+        with pytest.raises(ConfigurationError, match="selection"):
+            AttackSpec(name="alie", selection="psychic")
+
+    def test_ramping_schedule_requires_q_end(self):
+        spec = ScheduleSpec(kind="ramping", q=0, q_end=4)
+        assert spec.q_end == 4
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        spec = get_scenario("mols-alie-all-faults")
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_json_round_trip_is_identity(self):
+        spec = get_scenario("detox-multikrum-revgrad-dropout")
+        again = ScenarioSpec.from_dict(json.loads(spec.to_json()))
+        assert again.digest() == spec.digest()
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = get_scenario("ramanujan-constant-rotating")
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert ScenarioSpec.from_json_file(path).digest() == spec.digest()
+
+    def test_bad_json_file_raises_configuration_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="cannot load"):
+            ScenarioSpec.from_json_file(path)
+
+
+class TestDigest:
+    def test_digest_is_stable_across_instances(self):
+        assert (
+            get_scenario("mols-clean").digest() == get_scenario("mols-clean").digest()
+        )
+
+    def test_digest_changes_with_any_field(self):
+        base = get_scenario("mols-clean")
+        data = base.to_dict()
+        data["seed"] = 1
+        assert ScenarioSpec.from_dict(data).digest() != base.digest()
+
+
+class TestCatalog:
+    def test_matrix_is_large_enough(self):
+        assert len(scenario_names()) >= 20
+
+    def test_matrix_covers_schemes_attacks_and_faults(self):
+        specs = [get_scenario(name) for name in scenario_names()]
+        schemes = {s.cluster.scheme for s in specs}
+        attacks = {s.attack.name for s in specs if s.attack is not None}
+        fault_kinds = {f.kind for s in specs for f in s.faults}
+        schedules = {s.attack.schedule.kind for s in specs if s.attack is not None}
+        assert {"mols", "ramanujan", "frc", "baseline"} <= schemes
+        assert len(attacks) >= 3
+        assert {"stragglers", "dropout", "corruption"} <= fault_kinds
+        assert {"static", "ramping", "rotating"} <= schedules
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("not-a-scenario")

@@ -11,6 +11,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/regression.py             # full run + compare
     PYTHONPATH=src python benchmarks/regression.py --smoke     # quick CI sanity run
+    PYTHONPATH=src python benchmarks/regression.py --check     # compare vs committed
+                                                               # baseline, write nothing
     PYTHONPATH=src python benchmarks/regression.py --tolerance 0.5 --no-fail
 
 Timing protocol: every kernel is repeated ``--rounds`` times and the *minimum*
@@ -41,6 +43,8 @@ from repro.aggregation.median import CoordinateWiseMedian
 from repro.assignment.ramanujan import RamanujanAssignment
 from repro.core.pipelines import ByzShieldPipeline
 from repro.core.vote_tensor import VoteTensor
+from repro.nn.models import build_cnn, build_mlp, build_resnet_lite
+from repro.training.gradients import ModelGradientComputer
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -53,6 +57,52 @@ def make_round_tensor(num_files=25, replication=5, dim=10_000, corrupted=(0, 10,
     for i in corrupted:
         values[i, :2] = payload
     return values
+
+
+#: gradient-engine sweep — (model key, file count) pairs benchmarked for both
+#: engines.  The mlp point at f=25 (d≈11k, the paper's K=25 regime) carries
+#: the ≥3x acceptance gate (see benchmarks/test_bench_micro.py).
+GRADIENT_SWEEP = (("mlp", 4), ("mlp", 25), ("cnn", 25), ("resnet_lite", 25))
+
+
+def _gradient_models():
+    return {
+        "mlp": (lambda: build_mlp(100, 10, hidden=(64, 64), seed=0), "dense"),
+        "cnn": (lambda: build_cnn((1, 8, 8), 4, channels=(4, 8), seed=0), "image"),
+        "resnet_lite": (
+            lambda: build_resnet_lite(100, 10, width=64, num_blocks=3, seed=0),
+            "dense",
+        ),
+    }
+
+
+def _gradient_files(kind, num_files, batch=8):
+    rng = np.random.default_rng(11)
+    files = []
+    for _ in range(num_files):
+        if kind == "dense":
+            files.append((rng.standard_normal((batch, 100)), rng.integers(0, 10, batch)))
+        else:
+            files.append(
+                (rng.standard_normal((batch // 2, 1, 8, 8)), rng.integers(0, 4, batch // 2))
+            )
+    return files
+
+
+def gradient_engine_kernels() -> dict:
+    """Stacked vs looped per-file gradient kernels over the f x model sweep."""
+    models = _gradient_models()
+    kernels = {}
+    for model_key, num_files in GRADIENT_SWEEP:
+        model_fn, kind = models[model_key]
+        files = _gradient_files(kind, num_files)
+        for engine in ("stacked", "looped"):
+            computer = ModelGradientComputer(model_fn(), engine=engine)
+            params = computer.initial_params()
+            kernels[f"gradient_engine_{engine}_{model_key}_f{num_files}"] = (
+                lambda c=computer, p=params, fs=files: c.batched(p, fs)
+            )
+    return kernels
 
 
 def build_kernels() -> dict:
@@ -73,7 +123,7 @@ def build_kernels() -> dict:
     )
     pipeline_votes = pipeline_tensor.to_file_votes()
 
-    return {
+    kernels = {
         "majority_vote_tensor_exact_f25_r5_d10k": lambda: majority_vote_tensor(
             round_tensor
         ),
@@ -94,6 +144,8 @@ def build_kernels() -> dict:
         "multi_krum_25x20k": lambda: krum(votes),
         "bulyan_25x20k": lambda: bulyan(votes),
     }
+    kernels.update(gradient_engine_kernels())
+    return kernels
 
 
 def time_kernel(fn, rounds: int) -> float:
@@ -106,11 +158,58 @@ def time_kernel(fn, rounds: int) -> float:
     return best
 
 
-def previous_snapshot(current: pathlib.Path) -> pathlib.Path | None:
+def previous_snapshot(current: pathlib.Path | None = None) -> pathlib.Path | None:
     snapshots = sorted(
         p for p in RESULTS_DIR.glob("BENCH_*.json") if p != current
     )
     return snapshots[-1] if snapshots else None
+
+
+def fresh_snapshot_path(date: str) -> pathlib.Path:
+    """BENCH_<date>.json, suffixed ``_rNN`` when same-day snapshots exist.
+
+    The zero-padded suffix sorts after the unsuffixed name and in run order,
+    so :func:`previous_snapshot` still picks the latest snapshot as the
+    comparison baseline instead of overwriting it.
+    """
+    path = RESULTS_DIR / f"BENCH_{date}.json"
+    run = 2
+    while path.exists():
+        path = RESULTS_DIR / f"BENCH_{date}_r{run:02d}.json"
+        run += 1
+    return path
+
+
+def compare_to_baseline(results: dict, baseline_path: pathlib.Path, tolerance: float) -> list:
+    """Print per-kernel deltas vs a snapshot; return the regressed kernels."""
+    baseline = json.loads(baseline_path.read_text())["kernels"]
+    print(f"comparing against {baseline_path.name} (tolerance {tolerance:.0%})")
+    regressions = []
+    for name, entry in results.items():
+        if name not in baseline:
+            continue
+        before, after = baseline[name]["min_s"], entry["min_s"]
+        change = after / before - 1.0
+        marker = ""
+        if change > tolerance:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, change))
+        print(f"{name:48s} {change:+7.1%}{marker}")
+    return regressions
+
+
+def report_speedups(results: dict) -> None:
+    """Print the vectorized-vs-legacy headline ratios of the snapshot."""
+    tensor = results["majority_vote_tensor_exact_f25_r5_d10k"]["min_s"]
+    legacy = results["majority_vote_legacy_per_file_f25_r5_d10k"]["min_s"]
+    print(f"\nvectorized majority vote speedup vs legacy loop: {legacy / tensor:.2f}x")
+    for model_key, num_files in GRADIENT_SWEEP:
+        stacked = results[f"gradient_engine_stacked_{model_key}_f{num_files}"]["min_s"]
+        looped = results[f"gradient_engine_looped_{model_key}_f{num_files}"]["min_s"]
+        print(
+            f"stacked gradient engine speedup vs looped ({model_key}, f={num_files}): "
+            f"{looped / stacked:.2f}x"
+        )
 
 
 def main(argv=None) -> int:
@@ -130,6 +229,12 @@ def main(argv=None) -> int:
         help="quick sanity run: few rounds, no snapshot written, no comparison",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline snapshot without writing "
+        "a new one (the CI regression gate)",
+    )
+    parser.add_argument(
         "--no-fail",
         action="store_true",
         help="report regressions but exit 0 anyway",
@@ -147,16 +252,25 @@ def main(argv=None) -> int:
         results[name] = {"min_s": best, "ops_per_s": 1.0 / best}
         print(f"{name:48s} {best * 1e3:9.3f} ms   {1.0 / best:10.1f} ops/s")
 
-    tensor = results["majority_vote_tensor_exact_f25_r5_d10k"]["min_s"]
-    legacy = results["majority_vote_legacy_per_file_f25_r5_d10k"]["min_s"]
-    print(f"\nvectorized majority vote speedup vs legacy loop: {legacy / tensor:.2f}x")
+    report_speedups(results)
 
     if args.smoke:
         return 0
 
+    if args.check:
+        baseline_path = previous_snapshot()
+        if baseline_path is None:
+            print("no committed snapshot to check against")
+            return 0
+        regressions = compare_to_baseline(results, baseline_path, args.tolerance)
+        if regressions and not args.no_fail:
+            print(f"\n{len(regressions)} kernel(s) regressed beyond tolerance")
+            return 1
+        return 0
+
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     date = datetime.date.today().isoformat()
-    output = args.output or RESULTS_DIR / f"BENCH_{date}.json"
+    output = args.output or fresh_snapshot_path(date)
     baseline_path = previous_snapshot(output)
     output.write_text(
         json.dumps({"date": date, "rounds": rounds, "kernels": results}, indent=2)
@@ -167,19 +281,7 @@ def main(argv=None) -> int:
     if baseline_path is None:
         print("no previous snapshot; baseline established")
         return 0
-    baseline = json.loads(baseline_path.read_text())["kernels"]
-    print(f"comparing against {baseline_path.name} (tolerance {args.tolerance:.0%})")
-    regressions = []
-    for name, entry in results.items():
-        if name not in baseline:
-            continue
-        before, after = baseline[name]["min_s"], entry["min_s"]
-        change = after / before - 1.0
-        marker = ""
-        if change > args.tolerance:
-            marker = "  <-- REGRESSION"
-            regressions.append((name, change))
-        print(f"{name:48s} {change:+7.1%}{marker}")
+    regressions = compare_to_baseline(results, baseline_path, args.tolerance)
     if regressions and not args.no_fail:
         print(f"\n{len(regressions)} kernel(s) regressed beyond tolerance")
         return 1

@@ -22,6 +22,8 @@ from repro.aggregation.majority import (
 from repro.assignment.mols import MOLSAssignment
 from repro.assignment.ramanujan import RamanujanAssignment
 from repro.core.distortion import max_distortion_exhaustive, max_distortion_local_search
+from repro.nn.models import build_mlp
+from repro.training.gradients import ModelGradientComputer
 
 RNG = np.random.default_rng(0)
 VOTES_25 = RNG.standard_normal((25, 20_000))
@@ -125,6 +127,58 @@ def test_vectorized_majority_speedup_at_paper_scale():
         f"vectorized majority vote only {max(speedups):.2f}x faster "
         f"(attempts: {[f'{s:.2f}' for s in speedups]})"
     )
+
+
+def test_stacked_gradient_engine_speedup_at_paper_scale():
+    """Acceptance gate: the stacked per-file gradient engine is >= 3x the
+    looped engine at (f=25, mlp, d~=11k) — the paper's K=25 regime with
+    small equal-size batch slices.  Interleaved min-of-N timing with retries,
+    mirroring the majority-vote gate above."""
+    make_model = lambda: build_mlp(100, 10, hidden=(64, 64), seed=0)
+    rng = np.random.default_rng(11)
+    files = [(rng.standard_normal((8, 100)), rng.integers(0, 10, 8)) for _ in range(25)]
+    looped = ModelGradientComputer(make_model(), engine="looped")
+    stacked = ModelGradientComputer(make_model(), engine="stacked")
+    params = looped.initial_params()
+
+    loop_grads, loop_losses = looped.batched(params, files)
+    stack_grads, stack_losses = stacked.batched(params, files)
+    assert stacked.last_engine == "stacked"
+    assert np.array_equal(loop_grads, stack_grads)
+    assert np.array_equal(loop_losses, stack_losses)
+
+    def measure_speedup():
+        stacked_times, looped_times = [], []
+        for _ in range(30):
+            start = time.perf_counter()
+            stacked.batched(params, files)
+            stacked_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            looped.batched(params, files)
+            looped_times.append(time.perf_counter() - start)
+        return min(looped_times) / min(stacked_times)
+
+    speedups = []
+    for _ in range(3):
+        speedups.append(measure_speedup())
+        if speedups[-1] >= 3.0:
+            break
+    assert max(speedups) >= 3.0, (
+        f"stacked gradient engine only {max(speedups):.2f}x faster "
+        f"(attempts: {[f'{s:.2f}' for s in speedups]})"
+    )
+
+
+@pytest.mark.benchmark(group="micro-gradient-engine")
+def test_stacked_gradient_engine_mlp_f25_speed(benchmark):
+    computer = ModelGradientComputer(build_mlp(100, 10, hidden=(64, 64), seed=0))
+    params = computer.initial_params()
+    rng = np.random.default_rng(11)
+    files = [(rng.standard_normal((8, 100)), rng.integers(0, 10, 8)) for _ in range(25)]
+    grads, losses = benchmark(computer.batched, params, files)
+    assert computer.last_engine == "stacked"
+    assert grads.shape == (25, computer.dim)
+    assert losses.shape == (25,)
 
 
 @pytest.mark.benchmark(group="micro-assignment")

@@ -81,10 +81,16 @@ class WorkerPool:
         self.compressor = compressor
 
     def _transmitted(self, matrix: np.ndarray) -> np.ndarray:
-        """The per-file vectors as the PS receives them (post compression)."""
+        """The per-file vectors as the PS receives them (post compression).
+
+        Delegates to :meth:`Compressor.compress_matrix`, which vectorized
+        compressors (top-k, sign, identity) implement as a single matrix
+        call; stochastic ones keep the row-by-row default so their RNG draw
+        order is unchanged.
+        """
         if self.compressor is None:
             return matrix
-        return np.vstack([self.compressor(matrix[i]).vector for i in range(matrix.shape[0])])
+        return self.compressor.compress_matrix(matrix)
 
     def _check_file_data(
         self, file_data: dict[int, tuple[np.ndarray, np.ndarray]]

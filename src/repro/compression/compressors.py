@@ -69,12 +69,37 @@ class Compressor(abc.ABC):
             raise ConfigurationError("cannot compress an empty gradient")
         return self.compress(gradient)
 
+    def compress_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Decompressed reconstructions of all rows of an ``(f, d)`` matrix.
+
+        The default compresses row by row (preserving the RNG draw order of
+        stochastic compressors); deterministic compressors override it with
+        one vectorized call.  Row ``i`` of the result is bit-identical to
+        ``self(matrix[i]).vector``.
+        """
+        matrix = self._check_matrix(matrix)
+        return np.vstack([self(matrix[i]).vector for i in range(matrix.shape[0])])
+
+    @staticmethod
+    def _check_matrix(matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ConfigurationError(
+                f"compress_matrix expects an (f, d) matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ConfigurationError("cannot compress an empty gradient matrix")
+        return matrix
+
 
 class IdentityCompressor(Compressor):
     """No-op compressor (the uncompressed baseline)."""
 
     def compress(self, gradient: np.ndarray) -> CompressedGradient:
         return CompressedGradient(gradient.copy(), bits=gradient.size * _FLOAT_BITS)
+
+    def compress_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        return self._check_matrix(matrix).copy()
 
 
 class SignCompressor(Compressor):
@@ -90,6 +115,11 @@ class SignCompressor(Compressor):
         vector = scale * np.sign(gradient)
         bits = gradient.size * 1 + _FLOAT_BITS
         return CompressedGradient(vector, bits=float(bits))
+
+    def compress_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = self._check_matrix(matrix)
+        scales = np.mean(np.abs(matrix), axis=1)
+        return scales[:, None] * np.sign(matrix)
 
 
 class TopKCompressor(Compressor):
@@ -117,6 +147,17 @@ class TopKCompressor(Compressor):
         vector[keep] = gradient[keep]
         bits = k * (_FLOAT_BITS + _INDEX_BITS)
         return CompressedGradient(vector, bits=float(bits))
+
+    def compress_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = self._check_matrix(matrix)
+        k = self._k(matrix.shape[1])
+        # Row-wise argsort uses the same sort as the 1-D path, so the kept
+        # index sets (ties included) match the per-row calls exactly.
+        keep = np.argsort(np.abs(matrix), axis=1)[:, -k:]
+        rows = np.arange(matrix.shape[0])[:, None]
+        out = np.zeros_like(matrix)
+        out[rows, keep] = matrix[rows, keep]
+        return out
 
 
 class RandomKCompressor(Compressor):

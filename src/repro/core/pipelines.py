@@ -66,9 +66,8 @@ def _validate_file_votes(assignment: BipartiteAssignment, file_votes: FileVotes)
             )
 
 
-def _validate_vote_tensor(assignment: BipartiteAssignment, tensor: VoteTensor) -> None:
-    """Check the tensor's slot layout matches the assignment graph."""
-    expected = assignment.worker_slot_matrix()
+def _validate_vote_tensor(expected: np.ndarray, tensor: VoteTensor) -> None:
+    """Check the tensor's slot layout matches the expected ``(f, r)`` matrix."""
     if tensor.workers.shape != expected.shape or not np.array_equal(
         tensor.workers, expected
     ):
@@ -96,6 +95,17 @@ class AggregationPipeline:
     def __init__(self, assignment: BipartiteAssignment, validate: bool = True) -> None:
         self.assignment = assignment
         self.validate = bool(validate)
+        self._expected_slots: np.ndarray | None = None
+
+    def _expected_slot_matrix(self) -> np.ndarray:
+        """The assignment's ``(f, r)`` slot layout, pinned on the pipeline.
+
+        Resolved once on first validation; per-round validation then touches
+        only this local reference (no assignment lookup or regularity check).
+        """
+        if self._expected_slots is None:
+            self._expected_slots = self.assignment.worker_slot_matrix()
+        return self._expected_slots
 
     # -- interface -------------------------------------------------------------
     def aggregate(self, file_votes: FileVotes) -> np.ndarray:
@@ -111,7 +121,7 @@ class AggregationPipeline:
         equivalent ``file_votes`` dict, without per-file Python loops.
         """
         if self.validate:
-            _validate_vote_tensor(self.assignment, tensor)
+            _validate_vote_tensor(self._expected_slot_matrix(), tensor)
         return self._aggregate_tensor(tensor)
 
     def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
@@ -209,7 +219,7 @@ class ByzShieldPipeline(AggregationPipeline):
     def voted_gradients_tensor(self, tensor: VoteTensor) -> np.ndarray:
         """Tensor analogue of :meth:`voted_gradients`."""
         if self.validate:
-            _validate_vote_tensor(self.assignment, tensor)
+            _validate_vote_tensor(self._expected_slot_matrix(), tensor)
         return self._majority_matrix(tensor, self.voter)
 
     def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:

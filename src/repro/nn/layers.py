@@ -10,6 +10,30 @@ Array layout conventions:
 
 * dense inputs: ``(batch, features)``;
 * convolutional inputs: ``(batch, channels, height, width)``.
+
+Per-file stacked path
+---------------------
+
+Workers compute ``f`` independent file gradients per round.  Layers that set
+``per_file_capable = True`` additionally implement a *stacked* path operating
+on inputs with a leading file axis — ``(f, batch, ...)`` — so one pass through
+the stack computes all ``f`` forward/backward sweeps at once:
+
+* :meth:`Layer.forward_per_file` maps ``(f, n, ...)`` to ``(f, n, ...)``;
+* :meth:`Layer.backward_per_file` maps the stacked output gradient back to the
+  stacked input gradient and writes per-file parameter gradients of shape
+  ``(f, *param.shape)`` into caller-provided arrays (views into one
+  preallocated ``(f, d)`` workspace — see
+  :meth:`repro.nn.models.Sequential.per_file_loss_and_gradients`).
+
+The contract is *bit-identity*: slice ``i`` of every stacked result must equal
+what the plain path produces for file ``i``.  Stacked matmuls therefore keep
+the file axis as a gufunc loop dimension (one BLAS call per file with the same
+operand shapes as the plain path) instead of folding files into the GEMM
+``m``-dimension, and :class:`BatchNorm` normalizes each file with its own
+batch statistics, replaying the running-statistics updates in file order.
+:class:`Dropout` has no stacked rule (its mask stream is defined by the
+per-file call order) and forces the engine's looped fallback.
 """
 
 from __future__ import annotations
@@ -40,6 +64,10 @@ __all__ = [
 class Layer(abc.ABC):
     """Base class: a differentiable transformation with optional parameters."""
 
+    #: True when the layer implements the stacked per-file path
+    #: (:meth:`forward_per_file` / :meth:`backward_per_file`).
+    per_file_capable: bool = False
+
     def __init__(self) -> None:
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
@@ -54,6 +82,28 @@ class Layer(abc.ABC):
 
         Parameter gradients are accumulated into ``self.grads``.
         """
+
+    # -- stacked per-file path ---------------------------------------------
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Forward pass over stacked inputs ``(f, n, ...)``; see module docs."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no stacked per-file rule; the gradient "
+            "engine must fall back to the looped path"
+        )
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Stacked backward pass; per-file parameter gradients go to ``grads_out``.
+
+        ``grads_out`` maps each parameter name to a ``(f, *param.shape)``
+        array (typically a view into the engine's shared workspace) that the
+        layer must fully overwrite.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no stacked per-file rule; the gradient "
+            "engine must fall back to the looped path"
+        )
 
     # -- parameter plumbing ------------------------------------------------
     def parameter_items(self) -> list[tuple[str, np.ndarray]]:
@@ -89,6 +139,8 @@ class Dense(Layer):
     use_bias:
         Include the additive bias term (default True).
     """
+
+    per_file_capable = True
 
     def __init__(
         self,
@@ -131,9 +183,40 @@ class Dense(Layer):
             self.grads["b"] = grad_output.sum(axis=0)
         return grad_output @ self.params["W"].T
 
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ConfigurationError(
+                f"Dense expected stacked input (f, batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._stacked_input = x
+        # (f, n, in) @ (in, out): one BLAS call per file slice, with the same
+        # operand shapes as the plain path — keeps the results bit-identical.
+        out = x @ self.params["W"]
+        if self.use_bias:
+            out = out + self.params["b"]
+        return out
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        x = getattr(self, "_stacked_input", None)
+        if x is None:
+            raise ConfigurationError("backward_per_file called before forward_per_file")
+        # Release the stacked activations now: unlike the looped path, they
+        # hold all f files' worth of memory, so they must not outlive the round.
+        self._stacked_input = None
+        grads_out["W"][...] = np.matmul(x.transpose(0, 2, 1), grad_output)
+        if self.use_bias:
+            grads_out["b"][...] = grad_output.sum(axis=1)
+        return grad_output @ self.params["W"].T
+
 
 class ReLU(Layer):
     """Rectified linear unit ``max(x, 0)``."""
+
+    per_file_capable = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -148,9 +231,20 @@ class ReLU(Layer):
             raise ConfigurationError("backward called before forward on ReLU layer")
         return grad_output * self._mask
 
+    # Elementwise, so the plain rules apply verbatim to stacked inputs.
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        return self.backward(grad_output)
+
 
 class Tanh(Layer):
     """Hyperbolic tangent activation."""
+
+    per_file_capable = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -165,13 +259,25 @@ class Tanh(Layer):
             raise ConfigurationError("backward called before forward on Tanh layer")
         return grad_output * (1.0 - self._output**2)
 
+    # Elementwise, so the plain rules apply verbatim to stacked inputs.
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        return self.backward(grad_output)
+
 
 class Flatten(Layer):
     """Reshape ``(batch, ...)`` inputs to ``(batch, features)``."""
 
+    per_file_capable = True
+
     def __init__(self) -> None:
         super().__init__()
         self._input_shape: tuple[int, ...] | None = None
+        self._stacked_shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         self._input_shape = x.shape
@@ -181,6 +287,17 @@ class Flatten(Layer):
         if self._input_shape is None:
             raise ConfigurationError("backward called before forward on Flatten layer")
         return grad_output.reshape(self._input_shape)
+
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._stacked_shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        if self._stacked_shape is None:
+            raise ConfigurationError("backward_per_file called before forward_per_file")
+        return grad_output.reshape(self._stacked_shape)
 
 
 class Dropout(Layer):
@@ -232,6 +349,8 @@ class BatchNorm(Layer):
     epsilon:
         Numerical stabilizer added to the variance.
     """
+
+    per_file_capable = True
 
     def __init__(
         self, num_features: int, momentum: float = 0.9, epsilon: float = 1e-5
@@ -307,6 +426,78 @@ class BatchNorm(Layer):
             dx = grad_flat * gamma / std
         return self._from_2d(dx, shape)
 
+    # -- stacked per-file path ---------------------------------------------
+    @staticmethod
+    def _to_stacked_2d(x: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+        if x.ndim == 3:
+            return x, x.shape
+        if x.ndim == 5:
+            f, batch, channels, height, width = x.shape
+            flat = x.transpose(0, 1, 3, 4, 2).reshape(f, -1, channels)
+            return flat, x.shape
+        raise ConfigurationError(
+            f"stacked BatchNorm supports 3-D or 5-D inputs, got ndim={x.ndim}"
+        )
+
+    @staticmethod
+    def _from_stacked_2d(flat: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        if len(shape) == 3:
+            return flat
+        f, batch, channels, height, width = shape
+        return flat.reshape(f, batch, height, width, channels).transpose(0, 1, 4, 2, 3)
+
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        flat, shape = self._to_stacked_2d(np.asarray(x, dtype=np.float64))
+        if flat.shape[2] != self.num_features:
+            raise ConfigurationError(
+                f"BatchNorm expected {self.num_features} features, got {flat.shape[2]}"
+            )
+        if training:
+            # Each file normalizes with its own batch statistics, exactly as
+            # the looped engine does; the running statistics are then updated
+            # sequentially in file order so the end state is bit-identical.
+            mean = flat.mean(axis=1)
+            var = flat.var(axis=1)
+            for i in range(flat.shape[0]):
+                self.running_mean = (
+                    self.momentum * self.running_mean + (1 - self.momentum) * mean[i]
+                )
+                self.running_var = (
+                    self.momentum * self.running_var + (1 - self.momentum) * var[i]
+                )
+            std = np.sqrt(var + self.epsilon)[:, None, :]
+            normalized = (flat - mean[:, None, :]) / std
+        else:
+            std = np.sqrt(self.running_var + self.epsilon)
+            normalized = (flat - self.running_mean) / std
+            std = np.broadcast_to(std, (flat.shape[0], 1, self.num_features))
+        out = normalized * self.params["gamma"] + self.params["beta"]
+        self._stacked_cache = (normalized, std, shape, training)
+        return self._from_stacked_2d(out, shape)
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        cache = getattr(self, "_stacked_cache", None)
+        if cache is None:
+            raise ConfigurationError("backward_per_file called before forward_per_file")
+        self._stacked_cache = None  # all-files activations must not outlive the round
+        normalized, std, shape, training = cache
+        grad_flat, _ = self._to_stacked_2d(np.asarray(grad_output, dtype=np.float64))
+        grads_out["gamma"][...] = (grad_flat * normalized).sum(axis=1)
+        grads_out["beta"][...] = grad_flat.sum(axis=1)
+        gamma = self.params["gamma"]
+        if training:
+            dnorm = grad_flat * gamma
+            dx = (
+                dnorm
+                - dnorm.mean(axis=1, keepdims=True)
+                - normalized * (dnorm * normalized).mean(axis=1, keepdims=True)
+            ) / std
+        else:
+            dx = grad_flat * gamma / std
+        return self._from_stacked_2d(dx, shape)
+
 
 def _im2col(
     x: np.ndarray, kernel: int, stride: int, padding: int
@@ -368,6 +559,8 @@ class Conv2D(Layer):
     rng:
         Seed or generator for the He-normal kernel initialization.
     """
+
+    per_file_capable = True
 
     def __init__(
         self,
@@ -445,6 +638,66 @@ class Conv2D(Layer):
             out_w,
         )
 
+    # -- stacked per-file path ---------------------------------------------
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 5 or x.shape[2] != self.in_channels:
+            raise ConfigurationError(
+                f"Conv2D expected stacked input (f, batch, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        f, batch = x.shape[:2]
+        # im2col is batch-major, so folding (f, n) into one batch axis yields
+        # per-file blocks that reshape cleanly back to (f, n*oh*ow, ckk).
+        cols, out_h, out_w = _im2col(
+            x.reshape((f * batch,) + x.shape[2:]),
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        cols = cols.reshape(f, batch * out_h * out_w, -1)
+        weights = self.params["W"].reshape(self.out_channels, -1)
+        # (f, n*oh*ow, ckk) @ (ckk, oc): one BLAS call per file with the same
+        # operand shapes as the plain path, keeping results bit-identical.
+        out = cols @ weights.T
+        if self.use_bias:
+            out = out + self.params["b"]
+        out = out.reshape(f, batch, out_h, out_w, self.out_channels)
+        self._stacked_cache = (x.shape, cols, out_h, out_w)
+        return out.transpose(0, 1, 4, 2, 3)
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        cache = getattr(self, "_stacked_cache", None)
+        if cache is None:
+            raise ConfigurationError("backward_per_file called before forward_per_file")
+        # The stacked im2col buffer is f times the looped path's working set;
+        # drop the layer's reference so it dies with this round.
+        self._stacked_cache = None
+        input_shape, cols, out_h, out_w = cache
+        f, batch = input_shape[:2]
+        grad = np.asarray(grad_output, dtype=np.float64).transpose(0, 1, 3, 4, 2).reshape(
+            f, batch * out_h * out_w, self.out_channels
+        )
+        weights = self.params["W"].reshape(self.out_channels, -1)
+        grads_out["W"][...] = np.matmul(grad.transpose(0, 2, 1), cols).reshape(
+            (f,) + self.params["W"].shape
+        )
+        if self.use_bias:
+            grads_out["b"][...] = grad.sum(axis=1)
+        grad_cols = grad @ weights
+        grad_input = _col2im(
+            grad_cols.reshape(f * batch * out_h * out_w, -1),
+            (f * batch,) + input_shape[2:],
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        )
+        return grad_input.reshape(input_shape)
+
 
 class MaxPool2D(Layer):
     """Non-overlapping max pooling with a square window.
@@ -454,6 +707,8 @@ class MaxPool2D(Layer):
     pool_size:
         Window side; the spatial dimensions must be divisible by it.
     """
+
+    per_file_capable = True
 
     def __init__(self, pool_size: int = 2) -> None:
         super().__init__()
@@ -491,6 +746,38 @@ class MaxPool2D(Layer):
         spread = mask * grad / counts
         return spread.reshape(batch, channels, height, width)
 
+    # -- stacked per-file path ---------------------------------------------
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 5:
+            raise ConfigurationError(
+                f"stacked MaxPool2D expects 5-D input, got ndim={x.ndim}"
+            )
+        f, batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ConfigurationError(
+                f"spatial dims ({height}, {width}) must be divisible by pool_size={p}"
+            )
+        reshaped = x.reshape(f, batch, channels, height // p, p, width // p, p)
+        out = reshaped.max(axis=(4, 6))
+        mask = reshaped == out[:, :, :, :, None, :, None]
+        self._stacked_cache = (x.shape, mask)
+        return out
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        cache = getattr(self, "_stacked_cache", None)
+        if cache is None:
+            raise ConfigurationError("backward_per_file called before forward_per_file")
+        self._stacked_cache = None  # all-files pooling mask must not outlive the round
+        input_shape, mask = cache
+        grad = np.asarray(grad_output, dtype=np.float64)[:, :, :, :, None, :, None]
+        counts = mask.sum(axis=(4, 6), keepdims=True)
+        spread = mask * grad / counts
+        return spread.reshape(input_shape)
+
 
 class ResidualDenseBlock(Layer):
     """Two dense layers with ReLU and an identity skip connection.
@@ -499,6 +786,8 @@ class ResidualDenseBlock(Layer):
     these blocks gives the "ResNet-lite" model used as the stand-in for
     ResNet-18 (see DESIGN.md substitutions).
     """
+
+    per_file_capable = True
 
     def __init__(
         self, width: int, rng: int | np.random.Generator | None = 0
@@ -549,3 +838,25 @@ class ResidualDenseBlock(Layer):
         self.dense1.zero_grads()
         self.dense2.zero_grads()
         self._sync_grads()
+
+    # -- stacked per-file path ---------------------------------------------
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        hidden = self.relu1.forward_per_file(
+            self.dense1.forward_per_file(x, training), training
+        )
+        out = self.dense2.forward_per_file(hidden, training)
+        return self.relu2.forward_per_file(out + x, training)
+
+    def backward_per_file(
+        self, grad_output: np.ndarray, grads_out: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        grads1 = {"W": grads_out["dense1.W"], "b": grads_out["dense1.b"]}
+        grads2 = {"W": grads_out["dense2.W"], "b": grads_out["dense2.b"]}
+        grad = self.relu2.backward_per_file(grad_output, {})
+        grad_branch = self.dense1.backward_per_file(
+            self.relu1.backward_per_file(
+                self.dense2.backward_per_file(grad, grads2), {}
+            ),
+            grads1,
+        )
+        return grad_branch + grad

@@ -12,11 +12,11 @@ __all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError", "softmax"]
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
-    """Numerically stable row-wise softmax."""
+    """Numerically stable softmax over the trailing (class) axis."""
     logits = np.asarray(logits, dtype=np.float64)
-    shifted = logits - logits.max(axis=1, keepdims=True)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 class Loss(abc.ABC):
@@ -29,6 +29,25 @@ class Loss(abc.ABC):
     @abc.abstractmethod
     def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """Gradient of the mean loss with respect to the predictions."""
+
+    # -- stacked per-file path ---------------------------------------------
+    # Predictions/targets carry a leading file axis; slice ``i`` of each
+    # result must be bit-identical to the plain method on file ``i``.  The
+    # defaults loop; concrete losses override with vectorized rules.
+    def per_file_value(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Per-file mean losses, shape ``(f,)``."""
+        return np.array(
+            [self.value(predictions[i], targets[i]) for i in range(len(predictions))],
+            dtype=np.float64,
+        )
+
+    def per_file_gradient(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Stacked gradients of each file's mean loss w.r.t. its predictions."""
+        return np.stack(
+            [self.gradient(predictions[i], targets[i]) for i in range(len(predictions))]
+        )
 
 
 class SoftmaxCrossEntropy(Loss):
@@ -69,6 +88,39 @@ class SoftmaxCrossEntropy(Loss):
         grad[np.arange(targets.size), targets] -= 1.0
         return grad / targets.size
 
+    # -- stacked per-file path ---------------------------------------------
+    def _check_per_file(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets)
+        if predictions.ndim != 3:
+            raise ConfigurationError(
+                f"stacked predictions must be (files, batch, classes), got {predictions.shape}"
+            )
+        if targets.ndim != 2 or targets.shape != predictions.shape[:2]:
+            raise ConfigurationError(
+                "stacked targets must be a (files, batch) integer label array"
+            )
+        if np.any(targets < 0) or np.any(targets >= predictions.shape[2]):
+            raise ConfigurationError("target labels out of range for the logits")
+        return predictions, targets.astype(np.int64)
+
+    def per_file_value(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._check_per_file(predictions, targets)
+        probabilities = softmax(predictions)
+        picked = np.take_along_axis(probabilities, targets[:, :, None], axis=2)[:, :, 0]
+        return -np.log(picked + self.epsilon).mean(axis=1)
+
+    def per_file_gradient(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        predictions, targets = self._check_per_file(predictions, targets)
+        grad = softmax(predictions)
+        f, n = targets.shape
+        grad[np.arange(f)[:, None], np.arange(n)[None, :], targets] -= 1.0
+        return grad / n
+
 
 class MeanSquaredError(Loss):
     """Mean squared error between predictions and real-valued targets."""
@@ -89,3 +141,16 @@ class MeanSquaredError(Loss):
     def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
         predictions, targets = self._check(predictions, targets)
         return 2.0 * (predictions - targets) / predictions.size
+
+    # -- stacked per-file path ---------------------------------------------
+    def per_file_value(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._check(predictions, targets)
+        per_file_axes = tuple(range(1, predictions.ndim))
+        return ((predictions - targets) ** 2).mean(axis=per_file_axes)
+
+    def per_file_gradient(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        predictions, targets = self._check(predictions, targets)
+        per_file_size = predictions[0].size
+        return 2.0 * (predictions - targets) / per_file_size

@@ -133,6 +133,91 @@ class Sequential:
         self.backward(loss.gradient(predictions, y))
         return value, self.flat_gradient()
 
+    # -- stacked per-file path -------------------------------------------------
+    def supports_per_file(self) -> bool:
+        """True when every layer implements the stacked per-file path."""
+        return all(layer.per_file_capable for layer in self.layers)
+
+    def _per_file_gradient_views(self, workspace: np.ndarray) -> list[dict[str, np.ndarray]]:
+        """Per-layer views into a ``(f, d)`` workspace, one per parameter.
+
+        View ``[layer][name]`` has shape ``(f, *param.shape)`` and aliases the
+        columns the parameter's flat gradient occupies, so layers write their
+        per-file gradients straight into the workspace — no per-file
+        ``flat_gradient`` concatenation.
+        """
+        f = workspace.shape[0]
+        views: list[dict[str, np.ndarray]] = []
+        offset = 0
+        for layer in self.layers:
+            layer_views: dict[str, np.ndarray] = {}
+            for name, array in layer.parameter_items():
+                size = array.size
+                layer_views[name] = workspace[:, offset : offset + size].reshape(
+                    (f,) + array.shape
+                )
+                offset += size
+            views.append(layer_views)
+        return views
+
+    def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Stacked forward pass over ``(f, n, ...)`` inputs."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward_per_file(out, training=training)
+        return out
+
+    def per_file_loss_and_gradients(
+        self, x: np.ndarray, y: np.ndarray, loss: Loss, out: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All ``f`` per-file losses and flat gradients in one stacked pass.
+
+        Parameters
+        ----------
+        x, y:
+            Stacked inputs ``(f, n, ...)`` and targets ``(f, n, ...)`` — file
+            ``i``'s batch lives in slice ``i``.
+        loss:
+            The training loss.
+        out:
+            Optional preallocated ``(f, d)`` float64 workspace the gradients
+            are written into (allocated when omitted, reusable across rounds).
+
+        Returns
+        -------
+        losses, gradients:
+            ``(f,)`` per-file mean losses and the ``(f, d)`` gradient matrix;
+            row ``i`` is bit-identical to ``loss_and_gradient`` on file ``i``.
+        """
+        if not self.supports_per_file():
+            unsupported = sorted(
+                {type(l).__name__ for l in self.layers if not l.per_file_capable}
+            )
+            raise ConfigurationError(
+                f"model has layers without a stacked per-file rule: {unsupported}"
+            )
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim < 2 or x.shape[0] < 1 or x.shape[1] < 1:
+            raise ConfigurationError(
+                f"stacked inputs must be (files, batch, ...) with at least one "
+                f"file and one sample, got shape {x.shape}"
+            )
+        f, d = x.shape[0], self.num_parameters()
+        if out is None:
+            out = np.empty((f, d), dtype=np.float64)
+        elif out.shape != (f, d) or out.dtype != np.float64 or not out.flags.c_contiguous:
+            raise ConfigurationError(
+                f"workspace must be a C-contiguous float64 array of shape "
+                f"({f}, {d}), got {out.dtype} {out.shape}"
+            )
+        views = self._per_file_gradient_views(out)
+        predictions = self.forward_per_file(x, training=True)
+        losses = loss.per_file_value(predictions, y)
+        grad = loss.per_file_gradient(predictions, y)
+        for layer, layer_views in zip(reversed(self.layers), reversed(views)):
+            grad = layer.backward_per_file(grad, layer_views)
+        return losses, out
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"Sequential(name={self.name!r}, layers={len(self.layers)}, "

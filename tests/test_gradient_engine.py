@@ -1,0 +1,249 @@
+"""Equivalence properties of the stacked per-file gradient engine.
+
+The stacked engine (`Sequential.per_file_loss_and_gradients`, dispatched by
+``ModelGradientComputer.batched``) must be a pure execution-layout change:
+for every architecture, every file count and BatchNorm on/off, its per-file
+losses and gradients have to be *bit-identical* to the looped engine — and
+ragged files or layers without a stacked rule must silently fall back to the
+looped path.  The 24 golden traces (tests/test_golden_traces.py) pin the same
+contract end to end; these tests pin it at the engine level with diagnosable
+granularity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.compressors import (
+    IdentityCompressor,
+    QuantizedCompressor,
+    RandomKCompressor,
+    SignCompressor,
+    TopKCompressor,
+)
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn.layers import Dropout
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.models import Sequential, build_cnn, build_mlp, build_resnet_lite
+from repro.training.gradients import ModelGradientComputer
+
+FILE_COUNTS = (1, 4, 25)
+
+MODELS = {
+    "mlp": (lambda: build_mlp(30, 5, hidden=(16, 16), seed=3), "dense"),
+    "mlp_bn": (
+        lambda: build_mlp(30, 5, hidden=(16, 16), seed=3, batch_norm=True),
+        "dense",
+    ),
+    "cnn": (lambda: build_cnn((1, 8, 8), 4, channels=(4, 8), seed=3), "image"),
+    "resnet_lite": (
+        lambda: build_resnet_lite(30, 5, width=16, num_blocks=2, seed=3),
+        "dense",
+    ),
+}
+
+
+def make_files(kind, num_files, batch=6, seed=0):
+    rng = np.random.default_rng(seed)
+    files = []
+    for _ in range(num_files):
+        if kind == "dense":
+            inputs = rng.standard_normal((batch, 30))
+            labels = rng.integers(0, 5, batch)
+        else:
+            inputs = rng.standard_normal((batch, 1, 8, 8))
+            labels = rng.integers(0, 4, batch)
+        files.append((inputs, labels))
+    return files
+
+
+def both_engines(model_fn):
+    looped = ModelGradientComputer(model_fn(), engine="looped")
+    stacked = ModelGradientComputer(model_fn(), engine="stacked")
+    return looped, stacked
+
+
+@pytest.mark.parametrize("num_files", FILE_COUNTS)
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_stacked_engine_bit_identical(model_name, num_files):
+    model_fn, kind = MODELS[model_name]
+    looped, stacked = both_engines(model_fn)
+    params = looped.initial_params()
+    files = make_files(kind, num_files)
+
+    loop_grads, loop_losses = looped.batched(params, files)
+    stack_grads, stack_losses = stacked.batched(params, files)
+
+    assert looped.last_engine == "looped"
+    assert stacked.last_engine == "stacked"
+    assert stack_grads.dtype == np.float64 and stack_grads.shape == loop_grads.shape
+    assert np.array_equal(loop_grads, stack_grads)
+    assert np.array_equal(loop_losses, stack_losses)
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_stacked_rows_match_single_file_oracle(model_name):
+    """Every stacked row equals what the per-file ``__call__`` oracle returns."""
+    model_fn, kind = MODELS[model_name]
+    computer = ModelGradientComputer(model_fn())
+    params = computer.initial_params()
+    files = make_files(kind, 4)
+    grads, losses = computer.batched(params, files)
+    assert computer.last_engine == "stacked"
+    for i, (inputs, labels) in enumerate(files):
+        gradient, loss = computer(params, inputs, labels)
+        assert np.array_equal(grads[i], gradient)
+        assert losses[i] == loss
+
+
+def test_batchnorm_running_stats_match_looped_order():
+    """Sequential per-file running-stat updates replay bit-identically."""
+    model_fn = MODELS["mlp_bn"][0]
+    looped, stacked = both_engines(model_fn)
+    params = looped.initial_params()
+    files = make_files("dense", 7)
+    looped.batched(params, files)
+    stacked.batched(params, files)
+    for l_layer, s_layer in zip(looped.model.layers, stacked.model.layers):
+        if hasattr(l_layer, "running_mean"):
+            assert np.array_equal(l_layer.running_mean, s_layer.running_mean)
+            assert np.array_equal(l_layer.running_var, s_layer.running_var)
+
+
+def test_ragged_files_fall_back_to_looped():
+    model_fn, kind = MODELS["mlp"]
+    looped, stacked = both_engines(model_fn)
+    params = looped.initial_params()
+    files = make_files(kind, 4)
+    # Odd-size last file: shapes are no longer uniform.
+    rng = np.random.default_rng(9)
+    files[-1] = (rng.standard_normal((3, 30)), rng.integers(0, 5, 3))
+
+    loop_grads, loop_losses = looped.batched(params, files)
+    stack_grads, stack_losses = stacked.batched(params, files)
+    assert stacked.last_engine == "looped"
+    assert np.array_equal(loop_grads, stack_grads)
+    assert np.array_equal(loop_losses, stack_losses)
+
+
+def test_unsupported_layer_falls_back_to_looped():
+    def model_fn():
+        model = build_mlp(30, 5, hidden=(16,), seed=3)
+        # Dropout has no stacked rule (per-file RNG draw order); inserting it
+        # in eval-equivalent position still forces the fallback.
+        layers = list(model.layers)
+        layers.insert(1, Dropout(0.0))
+        return Sequential(layers, name="mlp+dropout")
+
+    looped, stacked = both_engines(model_fn)
+    assert not stacked.model.supports_per_file()
+    params = looped.initial_params()
+    files = make_files("dense", 4)
+    loop_grads, loop_losses = looped.batched(params, files)
+    stack_grads, stack_losses = stacked.batched(params, files)
+    assert stacked.last_engine == "looped"
+    assert np.array_equal(loop_grads, stack_grads)
+    assert np.array_equal(loop_losses, stack_losses)
+
+
+def test_stacked_pair_input_uses_stacked_engine():
+    """The (stacked inputs, stacked labels) calling form hits the fast path."""
+    model_fn, kind = MODELS["mlp"]
+    computer = ModelGradientComputer(model_fn())
+    params = computer.initial_params()
+    files = make_files(kind, 4)
+    stacked_inputs = np.stack([inputs for inputs, _ in files])
+    stacked_labels = np.stack([labels for _, labels in files])
+    grads_pair, losses_pair = computer.batched(params, (stacked_inputs, stacked_labels))
+    assert computer.last_engine == "stacked"
+    grads_list, losses_list = computer.batched(params, files)
+    assert np.array_equal(grads_pair, grads_list)
+    assert np.array_equal(losses_pair, losses_list)
+
+
+def test_per_file_workspace_is_written_in_place():
+    model_fn, kind = MODELS["mlp"]
+    model = model_fn()
+    loss = SoftmaxCrossEntropy()
+    files = make_files(kind, 3)
+    x = np.stack([inputs for inputs, _ in files])
+    y = np.stack([labels for _, labels in files])
+    workspace = np.full((3, model.num_parameters()), np.nan)
+    losses, grads = model.per_file_loss_and_gradients(x, y, loss, out=workspace)
+    assert grads is workspace
+    assert not np.isnan(workspace).any()
+    assert losses.shape == (3,)
+
+    with pytest.raises(ConfigurationError):
+        model.per_file_loss_and_gradients(
+            x, y, loss, out=np.empty((3, model.num_parameters() + 1))
+        )
+    with pytest.raises(ConfigurationError):
+        model.per_file_loss_and_gradients(
+            x, y, loss, out=np.empty((3, model.num_parameters()), dtype=np.float32)
+        )
+
+
+def test_per_file_rejects_unsupported_model():
+    model = Sequential([Dropout(0.5), *build_mlp(30, 5, hidden=(16,)).layers])
+    with pytest.raises(ConfigurationError, match="Dropout"):
+        model.per_file_loss_and_gradients(
+            np.zeros((2, 4, 30)), np.zeros((2, 4), dtype=np.int64), SoftmaxCrossEntropy()
+        )
+
+
+def test_batched_rejects_empty_files_both_engines():
+    for engine in ("stacked", "looped"):
+        computer = ModelGradientComputer(MODELS["mlp"][0](), engine=engine)
+        params = computer.initial_params()
+        files = make_files("dense", 2)
+        files[1] = (np.empty((0, 30)), np.empty(0, dtype=np.int64))
+        with pytest.raises(TrainingError, match="empty file"):
+            computer.batched(params, files)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(TrainingError, match="unknown gradient engine"):
+        ModelGradientComputer(MODELS["mlp"][0](), engine="warp")
+
+
+def test_mse_per_file_matches_looped():
+    loss = MeanSquaredError()
+    rng = np.random.default_rng(2)
+    predictions = rng.standard_normal((5, 6, 3))
+    targets = rng.standard_normal((5, 6, 3))
+    values = loss.per_file_value(predictions, targets)
+    grads = loss.per_file_gradient(predictions, targets)
+    for i in range(5):
+        assert values[i] == loss.value(predictions[i], targets[i])
+        assert np.array_equal(grads[i], loss.gradient(predictions[i], targets[i]))
+
+
+@pytest.mark.parametrize(
+    "compressor_fn",
+    [
+        IdentityCompressor,
+        SignCompressor,
+        lambda: TopKCompressor(0.1),
+        lambda: RandomKCompressor(0.1, seed=5),
+        lambda: QuantizedCompressor(4, seed=5),
+    ],
+    ids=["identity", "sign", "topk", "randomk", "quantized"],
+)
+def test_compress_matrix_matches_per_row_loop(compressor_fn):
+    rng = np.random.default_rng(3)
+    matrix = rng.standard_normal((6, 40))
+    # Stochastic compressors consume RNG row by row; the reference loop uses
+    # a twin instance with the same seed so both see the same stream.
+    twin = compressor_fn()
+    reference = np.vstack([twin(row).vector for row in matrix])
+    assert np.array_equal(compressor_fn().compress_matrix(matrix), reference)
+
+
+def test_compress_matrix_rejects_bad_shapes():
+    compressor = TopKCompressor(0.5)
+    with pytest.raises(ConfigurationError):
+        compressor.compress_matrix(np.zeros(4))
+    with pytest.raises(ConfigurationError):
+        compressor.compress_matrix(np.zeros((0, 4)))
+    with pytest.raises(ConfigurationError):
+        compressor.compress_matrix(np.zeros((4, 0)))

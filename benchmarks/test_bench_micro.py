@@ -6,6 +6,7 @@ aggregation over stacked gradients, majority voting, the worst-case distortion
 search and the assignment-graph construction — show up in the benchmark report.
 """
 
+import os
 import time
 
 import numpy as np
@@ -179,6 +180,79 @@ def test_stacked_gradient_engine_mlp_f25_speed(benchmark):
     assert computer.last_engine == "stacked"
     assert grads.shape == (25, computer.dim)
     assert losses.shape == (25,)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _scaled_catalog_specs():
+    """The 24-scenario catalog with a longer training schedule, so each
+    scenario's compute dominates process-pool startup and IPC."""
+    from repro.scenarios.catalog import all_scenarios
+    from repro.scenarios.spec import ScenarioSpec
+
+    specs = []
+    for spec in all_scenarios():
+        data = spec.to_dict()
+        data["training"] = {**data["training"], "num_iterations": 40, "eval_every": 20}
+        specs.append(ScenarioSpec.from_dict(data))
+    return specs
+
+
+def test_campaign_parallel_traces_match_golden():
+    """Acceptance gate (identity half): a 4-process campaign run of the raw
+    24-scenario catalog produces RunTraces bit-identical to the committed
+    goldens — parallelism changes wall-clock time and nothing else."""
+    from repro.campaigns.executor import run_specs
+    from repro.scenarios.catalog import all_scenarios, scenario_names
+    from repro.scenarios.golden import golden_path
+    from repro.scenarios.trace import RunTrace
+
+    records = run_specs(all_scenarios(), processes=4)
+    for name, record in zip(scenario_names(), records):
+        golden = RunTrace.from_json_file(golden_path(name))
+        RunTrace.from_dict(record.trace).assert_matches(golden)
+
+
+def test_campaign_parallel_speedup_on_catalog():
+    """Acceptance gate (speed half): running the 24-scenario catalog through
+    the campaign executor at 4 processes is >= 2x faster than serial.  The
+    catalog's training schedule is lengthened so per-scenario compute
+    dominates pool startup (the goldens' 4-iteration runs are deliberately
+    tiny); best-of-N timing with retries, mirroring the kernel gates above.
+    Needs real parallel hardware, so it skips on boxes with < 4 cores."""
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"needs >= 4 usable cores for a 4-process speedup, have {cores}")
+    from repro.campaigns.executor import run_specs
+
+    specs = _scaled_catalog_specs()
+    serial_records = run_specs(specs, processes=0)
+    parallel_records = run_specs(specs, processes=4)
+    assert [r.trace for r in parallel_records] == [r.trace for r in serial_records]
+
+    def measure_speedup():
+        start = time.perf_counter()
+        run_specs(specs, processes=0)
+        serial = time.perf_counter() - start
+        start = time.perf_counter()
+        run_specs(specs, processes=4)
+        parallel = time.perf_counter() - start
+        return serial / parallel
+
+    speedups = []
+    for _ in range(3):
+        speedups.append(measure_speedup())
+        if speedups[-1] >= 2.0:
+            break
+    assert max(speedups) >= 2.0, (
+        f"4-process campaign run only {max(speedups):.2f}x faster than serial "
+        f"(attempts: {[f'{s:.2f}' for s in speedups]})"
+    )
 
 
 @pytest.mark.benchmark(group="micro-assignment")

@@ -1,103 +1,140 @@
 #!/usr/bin/env python
-"""Robust-aggregation shootout on a fixed set of corrupted gradients.
+"""Robust-aggregation shootout, run as an end-to-end training campaign.
 
 The paper composes its redundancy layer with classic robust aggregators
-(median, median-of-means, Multi-Krum, Bulyan, signSGD).  This example isolates
-that layer: it generates a batch of honest gradients plus a configurable
-fraction of adversarial votes (constant, reversed or ALIE-style collusion) and
-measures how far each aggregator's output lands from the honest mean — the
-quantity that ultimately decides whether SGD keeps descending.
+(median, median-of-means, Multi-Krum, Bulyan, signSGD).  This example sweeps
+that second stage with the campaign engine: a ``CampaignSpec`` holds one
+ByzShield/MOLS base scenario and a grid of (aggregator × attack) cells, the
+``CampaignExecutor`` fans the expanded scenarios across worker processes,
+and the final-accuracy pivot shows which aggregators keep SGD descending
+under each attack.  With ``seed_policy="fixed"`` every cell trains on the
+same batches against the same adversary draws, so the comparison is paired —
+the campaign analogue of feeding every aggregator the same corrupted votes.
 
 Run with::
 
-    python examples/aggregator_shootout.py [--dim 1000] [--votes 25] [--byzantine 5]
+    python examples/aggregator_shootout.py [--processes 4] [--byzantine 2] [--out DIR]
+
+``--out`` attaches a result store, making re-runs incremental.
 """
 
 from __future__ import annotations
 
 import argparse
+from typing import Any
 
-import numpy as np
-
-from repro import (
-    BulyanAggregator,
-    CoordinateWiseMedian,
-    GeometricMedianAggregator,
-    KrumAggregator,
-    MeanAggregator,
-    MedianOfMeansAggregator,
-    MultiKrumAggregator,
-    SignSGDMajorityAggregator,
-    TrimmedMeanAggregator,
-)
+from repro.campaigns import CampaignExecutor, CampaignSpec, ResultStore
 from repro.experiments.report import format_rows
 
 
-def make_votes(kind: str, num_votes: int, num_byzantine: int, dim: int, rng) -> np.ndarray:
-    """Honest gradients plus ``num_byzantine`` adversarial votes of the given kind."""
-    honest = rng.standard_normal((num_votes - num_byzantine, dim)) * 0.5 + 1.0
-    if kind == "constant":
-        bad = np.full((num_byzantine, dim), -10.0)
-    elif kind == "reversed":
-        bad = -100.0 * honest[: num_byzantine if num_byzantine <= honest.shape[0] else 1]
-        if bad.shape[0] < num_byzantine:
-            bad = np.tile(bad, (num_byzantine, 1))[:num_byzantine]
-    elif kind == "alie":
-        mean, std = honest.mean(axis=0), honest.std(axis=0)
-        bad = np.tile(mean - 1.0 * std, (num_byzantine, 1))
-    else:
-        raise ValueError(f"unknown attack kind {kind!r}")
-    return np.vstack([honest, bad]), honest
+NUM_FILES = 25  # votes reaching the second stage under MOLS(load=5, r=3)
+
+
+def build_campaign(q: int, seed: int) -> CampaignSpec:
+    """The (aggregator × attack) sweep over one ByzShield/MOLS base run.
+
+    Aggregators whose breakdown-point preconditions cannot hold at this
+    ``q`` (Bulyan needs ``4q + 3 <= 25`` votes, trimmed-mean ``2q < 25``)
+    are left out of the grid instead of crashing the sweep mid-campaign —
+    the same story as the paper's "Bulyan inapplicable at q = 9" note.
+    """
+
+    def pipeline(aggregator: str, **params: Any) -> dict[str, Any]:
+        entry: dict[str, Any] = {"kind": "byzshield", "aggregator": aggregator}
+        if params:
+            entry["aggregator_params"] = params
+        return {"label": aggregator, "value": entry}
+
+    def attack(label: str, name: str, **params: Any) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "name": name,
+            "selection": "omniscient",
+            "schedule": {"kind": "static", "q": q},
+        }
+        if params:
+            entry["params"] = params
+        return {"label": label, "value": entry}
+
+    pipelines = [
+        pipeline("mean"),
+        pipeline("median"),
+        pipeline("median_of_means", num_groups=5),
+        pipeline("krum", num_byzantine=q),
+        pipeline("multi_krum", num_byzantine=q),
+        pipeline("geometric_median"),
+        pipeline("signsgd"),
+    ]
+    if 2 * q < NUM_FILES:
+        pipelines.insert(2, pipeline("trimmed_mean", trim=q))
+    if 4 * q + 3 <= NUM_FILES:
+        pipelines.insert(-2, pipeline("bulyan", num_byzantine=q))
+
+    return CampaignSpec.from_dict(
+        {
+            "name": "aggregator-shootout",
+            "description": "Second-stage robust aggregators under three attacks",
+            "seed": seed,
+            "seed_policy": "fixed",
+            "base": {
+                "name": "shootout-base",
+                "seed": seed,
+                "cluster": {"scheme": "mols", "params": {"load": 5, "replication": 3}},
+                "pipeline": {"kind": "byzshield", "aggregator": "median"},
+                "data": {"kind": "gaussian", "num_train": 300, "num_test": 100,
+                         "num_classes": 4, "dim": 12, "separation": 3.0},
+                "model": {"hidden": [16]},
+                "training": {"batch_size": 75, "num_iterations": 6, "eval_every": 3},
+            },
+            "grid": {
+                "pipeline": pipelines,
+                "attack": [
+                    attack("constant", "constant", value=-10.0),
+                    attack("reversed", "reversed_gradient", scale=100.0),
+                    attack("alie", "alie"),
+                ],
+            },
+        }
+    )
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--dim", type=int, default=1000)
-    parser.add_argument("--votes", type=int, default=25)
-    parser.add_argument("--byzantine", type=int, default=5)
+    parser.add_argument("--byzantine", type=int, default=2,
+                        help="adversary budget q on the K=15 MOLS cluster")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--processes", type=int, default=0,
+                        help="worker processes (0/1 = serial, same results)")
+    parser.add_argument("--out", default=None,
+                        help="optional result-store root for resumable re-runs")
     args = parser.parse_args()
 
-    rng = np.random.default_rng(args.seed)
-    q = args.byzantine
-    aggregators = {
-        "mean (not robust)": MeanAggregator(),
-        "coordinate-wise median": CoordinateWiseMedian(),
-        "trimmed mean": TrimmedMeanAggregator(trim=q),
-        "median-of-means": MedianOfMeansAggregator(num_groups=max(args.votes // 5, 1)),
-        "Krum": KrumAggregator(num_byzantine=q),
-        "Multi-Krum": MultiKrumAggregator(num_byzantine=q),
-        "Bulyan": BulyanAggregator(num_byzantine=q),
-        "geometric median": GeometricMedianAggregator(),
-        "signSGD majority": SignSGDMajorityAggregator(),
-    }
+    campaign = build_campaign(args.byzantine, args.seed)
+    store = ResultStore(campaign, root=args.out) if args.out else None
+    result = CampaignExecutor(
+        campaign, store=store, processes=args.processes
+    ).run()
 
-    for kind in ("constant", "reversed", "alie"):
-        votes, honest = make_votes(kind, args.votes, q, args.dim, rng)
-        target = honest.mean(axis=0)
-        rows = []
-        for label, aggregator in aggregators.items():
-            try:
-                output = aggregator(votes)
-            except Exception as exc:  # breakdown-point violations, etc.
-                rows.append({"aggregator": label, "error_vs_honest_mean": float("nan"),
-                             "note": type(exc).__name__})
-                continue
-            if label == "signSGD majority":
-                # signSGD outputs a direction, not a magnitude: compare signs.
-                error = float(np.mean(np.sign(output) != np.sign(target)))
-                note = "fraction of wrong signs"
-            else:
-                error = float(np.linalg.norm(output - target) / np.linalg.norm(target))
-                note = "relative L2 error"
-            rows.append({"aggregator": label, "error_vs_honest_mean": error, "note": note})
-        print(
-            format_rows(
-                rows,
-                title=f"Attack = {kind}: {q}/{args.votes} votes Byzantine, dim={args.dim}",
-            )
+    # Pivot: one row per aggregator, one final-accuracy column per attack.
+    attack_labels = [ax for ax in campaign.grid if ax.path == "attack"][0].labels
+    rows: dict[str, dict[str, Any]] = {}
+    for scenario, record in zip(result.scenarios, result.records):
+        row = rows.setdefault(
+            scenario.labels["pipeline"], {"aggregator": scenario.labels["pipeline"]}
         )
-        print()
+        row[scenario.labels["attack"]] = float(record.summary["final_accuracy"])
+    print(
+        format_rows(
+            list(rows.values()),
+            columns=["aggregator", *attack_labels],
+            title=(
+                f"Final accuracy after {result.records[0].summary['rounds']} rounds: "
+                f"q={args.byzantine} Byzantine workers, ByzShield/MOLS (K=15)"
+            ),
+        )
+    )
+    if result.skipped:
+        print(f"\n({result.skipped} scenarios served from the store, "
+              f"{result.ran} freshly run)")
 
 
 if __name__ == "__main__":

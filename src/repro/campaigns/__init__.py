@@ -1,0 +1,45 @@
+"""Campaign engine: process-parallel scenario sweeps with a results store.
+
+Public surface:
+
+* :class:`~repro.campaigns.spec.CampaignSpec` — a parameter grid over one
+  base scenario (dict/JSON round-trip, stable digest) that
+  :meth:`~repro.campaigns.spec.CampaignSpec.expand`\\ s into concrete
+  :class:`~repro.scenarios.spec.ScenarioSpec`\\ s with derived seeds;
+* :class:`~repro.campaigns.executor.CampaignExecutor` /
+  :func:`~repro.campaigns.executor.run_specs` — run the expansion on a
+  process pool, bit-identical to serial execution;
+* :class:`~repro.campaigns.store.ResultStore` — content-addressed per-
+  scenario records under ``campaign_out/<digest>/`` with skip-completed
+  resumability;
+* :mod:`~repro.campaigns.report` — the aggregated accuracy-vs-q tables the
+  paper's figures are built from.
+"""
+
+from repro.campaigns.executor import (
+    CampaignExecutor,
+    CampaignRunResult,
+    CampaignStatus,
+    execute_spec,
+    run_specs,
+)
+from repro.campaigns.report import accuracy_vs_q_rows, campaign_report, find_q_axis
+from repro.campaigns.spec import CampaignScenario, CampaignSpec, GridAxis
+from repro.campaigns.store import DEFAULT_STORE_ROOT, ResultStore, ScenarioRecord
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignScenario",
+    "GridAxis",
+    "CampaignExecutor",
+    "CampaignRunResult",
+    "CampaignStatus",
+    "execute_spec",
+    "run_specs",
+    "ResultStore",
+    "ScenarioRecord",
+    "DEFAULT_STORE_ROOT",
+    "accuracy_vs_q_rows",
+    "campaign_report",
+    "find_q_axis",
+]

@@ -1,0 +1,98 @@
+"""Aggregated campaign reports.
+
+The paper's figures are accuracy-versus-``q`` sweeps: every curve fixes an
+(assignment scheme, attack, aggregator) cell and varies the adversary budget
+``q`` along the x-axis.  :func:`accuracy_vs_q_rows` rebuilds exactly that
+shape from a campaign's stored records — one row per non-``q`` grid cell,
+one column per ``q`` value — and :func:`campaign_report` renders it together
+with the flat per-scenario summary table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.campaigns.executor import CampaignRunResult
+from repro.campaigns.spec import CampaignScenario, CampaignSpec
+from repro.campaigns.store import ScenarioRecord
+from repro.experiments.report import format_rows
+
+__all__ = ["find_q_axis", "accuracy_vs_q_rows", "campaign_report"]
+
+
+def find_q_axis(campaign: CampaignSpec) -> "str | None":
+    """The grid path sweeping the adversary budget, if the campaign has one.
+
+    Recognizes any axis whose final path segment is ``q`` (canonically
+    ``attack.schedule.q``).
+    """
+    for axis in campaign.grid:
+        if axis.path.rsplit(".", 1)[-1] == "q":
+            return axis.path
+    return None
+
+
+def accuracy_vs_q_rows(
+    campaign: CampaignSpec,
+    scenarios: Sequence[CampaignScenario],
+    records: Sequence["ScenarioRecord | None"],
+) -> list[dict[str, Any]]:
+    """Pivot final accuracy into one row per non-``q`` cell, one column per ``q``.
+
+    Scenarios without a stored record render as ``""`` so a partially
+    complete campaign still reports cleanly.
+    """
+    q_path = find_q_axis(campaign)
+    if q_path is None:
+        return []
+    keys = campaign.axis_keys()
+    other_axes = [axis for axis in campaign.grid if axis.path != q_path]
+    q_axis = next(axis for axis in campaign.grid if axis.path == q_path)
+    rows: dict[tuple[str, ...], dict[str, Any]] = {}
+    for scenario, record in zip(scenarios, records):
+        cell = tuple(scenario.labels[axis.path] for axis in other_axes)
+        row = rows.get(cell)
+        if row is None:
+            row = {keys[axis.path]: label for axis, label in zip(other_axes, cell)}
+            if not other_axes:
+                row = {"campaign": campaign.name}
+            rows[cell] = row
+        column = f"q={scenario.labels[q_path]}"
+        row[column] = (
+            float(record.summary["final_accuracy"]) if record is not None else ""
+        )
+    # Rows keep expansion order (= the axes' declared value order; dicts
+    # preserve insertion); columns are the cell keys then q in declared order.
+    ordered = []
+    for row in rows.values():
+        base = {k: row[k] for k in row if not k.startswith("q=")}
+        for label in q_axis.labels:
+            base[f"q={label}"] = row.get(f"q={label}", "")
+        ordered.append(base)
+    return ordered
+
+
+def campaign_report(result: CampaignRunResult) -> str:
+    """Render the full campaign report: accuracy-vs-q pivot (when the
+    campaign sweeps ``q``) followed by the flat per-scenario summary."""
+    sections: list[str] = []
+    pivot = accuracy_vs_q_rows(result.campaign, result.scenarios, result.records)
+    if pivot:
+        sections.append(
+            format_rows(
+                pivot,
+                title=f"Final accuracy vs q — campaign {result.campaign.name!r}",
+            )
+        )
+    missing = sum(1 for r in result.records if r is None)
+    rows = result.summary_rows()  # includes only completed scenarios
+    if rows:
+        sections.append(
+            format_rows(rows, title=f"Campaign {result.campaign.name!r} scenarios")
+        )
+    if missing:
+        sections.append(
+            f"({missing} of {len(result.records)} scenarios have no stored "
+            f"record yet — run 'repro campaign run' to complete the sweep)"
+        )
+    return "\n\n".join(sections) if sections else "(no campaign records yet)"

@@ -15,6 +15,10 @@ Usage (after installing the package)::
     python -m repro.cli scenario run mols-alie-all-faults --trace-out trace.json
     python -m repro.cli scenario record              # regenerate golden traces
     python -m repro.cli scenario replay              # verify against goldens
+    python -m repro.cli campaign expand examples/campaign_accuracy_vs_q.json
+    python -m repro.cli campaign run examples/campaign_accuracy_vs_q.json --processes 4
+    python -m repro.cli campaign status examples/campaign_accuracy_vs_q.json
+    python -m repro.cli campaign report examples/campaign_accuracy_vs_q.json
 
 Output goes to stdout as aligned text tables; ``--csv PATH`` additionally
 writes machine-readable CSV.
@@ -28,6 +32,10 @@ import sys
 from typing import Callable, Sequence
 
 from repro.assignment.registry import available_schemes, create_scheme
+from repro.campaigns.executor import CampaignExecutor, CampaignRunResult
+from repro.campaigns.report import campaign_report
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import DEFAULT_STORE_ROOT, ResultStore
 from repro.core.distortion import distortion_comparison_table
 from repro.exceptions import ReproError
 from repro.experiments.ablations import (
@@ -78,7 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the available tables and figures")
 
     table_parser = subparsers.add_parser("table", help="regenerate a distortion table")
-    table_parser.add_argument("name", choices=sorted(_TABLE_GENERATORS))
+    table_parser.add_argument(
+        "name",
+        choices=sorted(_TABLE_GENERATORS),
+        help="which published distortion table to regenerate",
+    )
     table_parser.add_argument(
         "--method",
         default=None,
@@ -87,39 +99,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a figure")
-    figure_parser.add_argument("name", choices=[*available_figures(), "fig12"])
+    figure_parser.add_argument(
+        "name",
+        choices=[*available_figures(), "fig12"],
+        help="which accuracy figure (or the fig12 timing breakdown) to regenerate",
+    )
     figure_parser.add_argument(
         "--scale", default="small", choices=sorted(SCALE_PRESETS), help="experiment scale"
     )
-    figure_parser.add_argument("--seed", type=int, default=0)
+    figure_parser.add_argument(
+        "--seed", type=int, default=0, help="base seed of the training runs"
+    )
 
     subparsers.add_parser("bounds", help="gamma-bound tightness and Claim 2 checks")
 
     ablation_parser = subparsers.add_parser("ablation", help="run an ablation study")
     ablation_parser.add_argument(
-        "name", choices=["assignment", "aggregator", "scenarios"]
+        "name",
+        choices=["assignment", "aggregator", "scenarios"],
+        help="assignment/aggregator design-space tables, or the "
+        "fault-injection scenario matrix",
+    )
+    ablation_parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="worker processes for the scenario matrix (0/1 = serial; "
+        "only used by 'scenarios')",
     )
 
     distortion_parser = subparsers.add_parser(
         "distortion", help="distortion table for a custom assignment"
     )
-    distortion_parser.add_argument("--scheme", default="mols", choices=available_schemes())
-    distortion_parser.add_argument("--load", type=int, default=5)
-    distortion_parser.add_argument("--replication", type=int, default=3)
-    distortion_parser.add_argument("--num-workers", type=int, default=None)
-    distortion_parser.add_argument("--num-files", type=int, default=None)
-    distortion_parser.add_argument("--m", type=int, default=None)
-    distortion_parser.add_argument("--s", type=int, default=None)
-    distortion_parser.add_argument("--q", type=int, nargs="+", required=True)
     distortion_parser.add_argument(
-        "--method", default="auto", choices=["auto", "exhaustive", "greedy", "local_search"]
+        "--scheme", default="mols", choices=available_schemes(),
+        help="assignment scheme to analyze",
+    )
+    distortion_parser.add_argument(
+        "--load", type=int, default=5, help="files per worker l (mols/frc/random)"
+    )
+    distortion_parser.add_argument(
+        "--replication", type=int, default=3, help="copies per file r"
+    )
+    distortion_parser.add_argument(
+        "--num-workers", type=int, default=None, help="cluster size K (frc/baseline/random)"
+    )
+    distortion_parser.add_argument(
+        "--num-files", type=int, default=None, help="file count f (random scheme)"
+    )
+    distortion_parser.add_argument(
+        "--m", type=int, default=None, help="Ramanujan parameter m"
+    )
+    distortion_parser.add_argument(
+        "--s", type=int, default=None, help="Ramanujan parameter s"
+    )
+    distortion_parser.add_argument(
+        "--q", type=int, nargs="+", required=True,
+        help="Byzantine budgets to evaluate (one table row per value)",
+    )
+    distortion_parser.add_argument(
+        "--method", default="auto", choices=["auto", "exhaustive", "greedy", "local_search"],
+        help="c_max search method",
     )
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="run fault-injection scenarios and manage golden traces"
     )
     scenario_parser.add_argument(
-        "action", choices=["list", "run", "record", "replay"]
+        "action",
+        choices=["list", "run", "record", "replay"],
+        help="list the catalog; run one scenario; record/replay golden traces",
     )
     scenario_parser.add_argument(
         "target",
@@ -144,6 +193,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help="write the run's full trace JSON to this path",
+    )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="expand, run, inspect and report process-parallel scenario sweeps",
+    )
+    campaign_parser.add_argument(
+        "action",
+        choices=["expand", "run", "status", "report"],
+        help="expand: list the concrete scenarios of the grid; run: execute "
+        "pending scenarios (resumable); status: completed/pending counts; "
+        "report: aggregated accuracy-vs-q tables from stored records",
+    )
+    campaign_parser.add_argument(
+        "target", help="path to a CampaignSpec JSON file"
+    )
+    campaign_parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="worker processes for 'run' (0/1 = serial, bit-identical either way)",
+    )
+    campaign_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help=f"result-store root (default: {DEFAULT_STORE_ROOT}/); records land "
+        "under <out>/<campaign-digest>/",
     )
     return parser
 
@@ -212,7 +289,7 @@ def _run_ablation(args: argparse.Namespace) -> str:
         rows = assignment_structure_ablation()
         return _emit(rows, "Assignment-structure ablation", args.csv)
     if args.name == "scenarios":
-        rows = scenario_matrix_table()
+        rows = scenario_matrix_table(processes=args.processes)
         return _emit(rows, "Fault-injection scenario matrix", args.csv)
     rows = aggregator_ablation()
     return _emit(rows, "Post-vote aggregator ablation", args.csv)
@@ -302,6 +379,61 @@ def _run_scenario_cmd(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_campaign_cmd(args: argparse.Namespace) -> str:
+    campaign = CampaignSpec.from_json_file(args.target)
+    store = ResultStore(campaign, root=args.out)
+    executor = CampaignExecutor(campaign, store=store, processes=args.processes)
+    if args.action == "expand":
+        keys = campaign.axis_keys()
+        rows = []
+        for scenario in executor.scenarios:
+            row: dict[str, object] = {"scenario": scenario.spec.name}
+            for path, label in scenario.labels.items():
+                row[keys[path]] = label
+            row["seed"] = scenario.spec.seed
+            row["spec_digest"] = scenario.spec.digest()
+            rows.append(row)
+        text = _emit(
+            rows,
+            f"Campaign {campaign.name!r}: {len(rows)} scenarios "
+            f"(digest {campaign.digest()})",
+            args.csv,
+        )
+        return text
+    if args.action == "run":
+        result = executor.run()
+        text = _emit(
+            result.summary_rows(), f"Campaign {campaign.name!r} results", args.csv
+        )
+        text += (
+            f"\n\nran={result.ran} skipped={result.skipped} "
+            f"total={len(result.records)} store={result.store_dir}"
+        )
+        return text
+    if args.action == "status":
+        status = executor.status()
+        lines = [
+            f"campaign {status.campaign!r} (digest {status.digest}): "
+            f"{len(status.completed)}/{status.total} scenarios completed, "
+            f"{len(status.pending)} pending"
+        ]
+        for name in status.pending:
+            lines.append(f"  pending {name}")
+        lines.append(f"store: {store.directory}")
+        return "\n".join(lines)
+    # report: render from stored records only, never triggering runs
+    records = [executor.store.load(s.spec.digest()) for s in executor.scenarios]
+    result = CampaignRunResult(
+        campaign=campaign,
+        scenarios=executor.scenarios,
+        records=records,
+        store_dir=str(store.directory),
+    )
+    if args.csv is not None:
+        args.csv.write_text(rows_to_csv(result.summary_rows()))
+    return campaign_report(result)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -321,13 +453,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _run_distortion(args)
         elif args.command == "scenario":
             output = _run_scenario_cmd(args)
+        elif args.command == "campaign":
+            output = _run_campaign_cmd(args)
         else:  # pragma: no cover - argparse enforces choices
             parser.error(f"unknown command {args.command!r}")
             return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(output)
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. `repro ... | head`; not an error
+        sys.stderr.close()  # suppress the interpreter's shutdown warning
     return 0
 
 

@@ -7,22 +7,33 @@ tables use, so the CLI and the report renderer work unchanged.  This is the
 "as many scenarios as you can imagine" table: it shows in one screen how the
 redundancy schemes behave across attacks, schedules, stragglers, churn,
 corruption and compression.
+
+The rows are produced through the campaign engine's
+:func:`~repro.campaigns.executor.run_specs`, so ``processes > 1`` fans the
+catalog out across worker processes with bit-identical results
+(``repro ablation scenarios --processes 4``).
 """
 
 from __future__ import annotations
 
+from repro.campaigns.executor import run_specs
 from repro.scenarios.catalog import get_scenario, scenario_names
-from repro.scenarios.runner import run_scenario
 
 __all__ = ["scenario_matrix_table"]
 
 
-def scenario_matrix_table(names: "list[str] | None" = None) -> list[dict[str, object]]:
-    """One summary row per scenario (default: the whole catalog)."""
+def scenario_matrix_table(
+    names: "list[str] | None" = None, processes: int = 0
+) -> list[dict[str, object]]:
+    """One summary row per scenario (default: the whole catalog).
+
+    ``processes`` selects the worker-process count (``<= 1`` = serial); the
+    rows are identical either way, in catalog order.
+    """
+    specs = [get_scenario(name) for name in (names if names is not None else scenario_names())]
     rows: list[dict[str, object]] = []
-    for name in names if names is not None else scenario_names():
-        result = run_scenario(get_scenario(name))
-        row = result.summary()
+    for record in run_specs(specs, processes=processes):
+        row = dict(record.summary)
         row.pop("final_params_digest", None)  # digests belong to traces
         rows.append(row)
     return rows

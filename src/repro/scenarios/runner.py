@@ -4,10 +4,18 @@ The runner is the only place that knows how to map spec sections onto the
 library's registries and constructors: assignment schemes, aggregation
 pipelines, attacks + schedules, fault injectors, compressors, the synthetic
 datasets and the MLP substrate.  Each :meth:`ScenarioRunner.run` builds every
-component fresh from the spec (no state leaks between runs), drives the
-existing :class:`~repro.training.trainer.DistributedTrainer` through the
-VoteTensor fast path, and records a bit-exact
-:class:`~repro.scenarios.trace.RunTrace` via the trainer's round observer.
+component fresh from the spec (no state leaks between runs) and drives
+:class:`~repro.training.trainer.DistributedTrainer` down the vectorized
+round path: all ``f`` file gradients in one pass through the stacked
+per-file engine (:meth:`~repro.training.gradients.ModelGradientComputer.batched`),
+packed into a contiguous :class:`~repro.core.vote_tensor.VoteTensor` for
+attack/fault injection and the vectorized majority vote, with a bit-exact
+:class:`~repro.scenarios.trace.RunTrace` recorded via the trainer's round
+observer.
+
+Because a run is a pure function of its spec, the campaign engine
+(:mod:`repro.campaigns`) can execute many runners across worker processes
+and obtain traces bit-identical to serial execution.
 """
 
 from __future__ import annotations
@@ -237,7 +245,15 @@ class ScenarioRunner:
 
     # -- execution -----------------------------------------------------------
     def run(self, verbose: bool = False) -> ScenarioResult:
-        """Execute the scenario and return its trace + training history."""
+        """Execute the scenario and return its trace + training history.
+
+        Every component is assembled fresh from the spec and each round runs
+        the vectorized engine end to end — the stacked per-file gradient
+        pass, tensor-level attack and fault injection, the vectorized
+        majority vote and the robust aggregator — while the attached round
+        observer digests every stage into the :class:`RunTrace`.  Two calls
+        with the same spec are bit-identical, in any process.
+        """
         trace = RunTrace(scenario=self.spec.name, spec_digest=self.spec.digest())
 
         def observe(iteration, round_result, aggregate, server):

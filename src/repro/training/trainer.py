@@ -4,7 +4,8 @@ Each iteration:
 
 1. the PS samples a batch ``B_t`` and partitions it into ``f`` files;
 2. the simulated workers compute their assigned file gradients at the
-   broadcast parameters ``w_t``;
+   broadcast parameters ``w_t`` (all ``f`` files in one pass through the
+   stacked per-file gradient engine);
 3. the Byzantine selector picks the compromised workers and the attack
    substitutes their returns;
 4. the PS runs its aggregation pipeline (majority vote + robust aggregation

@@ -1,0 +1,136 @@
+"""The `repro campaign` subcommand: expand / run / status / report."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EXAMPLE = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "examples"
+    / "campaign_accuracy_vs_q.json"
+)
+
+
+@pytest.fixture()
+def campaign_file(tmp_path):
+    """A 4-scenario campaign cheap enough for CLI round-trips."""
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps({
+        "name": "cli-mini",
+        "base_scenario": "mols-alie-omniscient",
+        "seed": 1,
+        "grid": {
+            "attack.schedule.q": [0, 2],
+            "pipeline.aggregator": ["median", "mean"],
+        },
+    }))
+    return path
+
+
+def test_example_campaign_file_is_valid():
+    from repro.campaigns import CampaignSpec
+
+    campaign = CampaignSpec.from_json_file(EXAMPLE)
+    assert len(campaign.expand()) == 10  # q in 0..4 x two aggregators
+
+
+def test_campaign_expand(campaign_file, capsys):
+    assert main(["campaign", "expand", str(campaign_file)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-mini/q=0,aggregator=median" in out
+    assert "cli-mini/q=2,aggregator=mean" in out
+    assert "spec_digest" in out
+
+
+def test_campaign_run_status_report_round_trip(campaign_file, tmp_path, capsys):
+    store_root = tmp_path / "out"
+    run_args = ["campaign", "run", str(campaign_file), "--out", str(store_root)]
+    assert main(run_args) == 0
+    out = capsys.readouterr().out
+    assert "ran=4 skipped=0" in out
+
+    # Resume: everything is served from the store.
+    assert main(run_args) == 0
+    assert "ran=0 skipped=4" in capsys.readouterr().out
+
+    assert main(["campaign", "status", str(campaign_file), "--out", str(store_root)]) == 0
+    assert "4/4 scenarios completed" in capsys.readouterr().out
+
+    assert main(["campaign", "report", str(campaign_file), "--out", str(store_root)]) == 0
+    out = capsys.readouterr().out
+    assert "Final accuracy vs q" in out
+    assert "q=0" in out and "q=2" in out
+
+
+def test_campaign_status_before_any_run(campaign_file, tmp_path, capsys):
+    assert main(["campaign", "status", str(campaign_file), "--out", str(tmp_path / "o")]) == 0
+    out = capsys.readouterr().out
+    assert "0/4 scenarios completed" in out
+    assert "pending cli-mini/q=0,aggregator=median" in out
+
+
+def test_campaign_report_without_records_notes_the_gap(campaign_file, tmp_path, capsys):
+    assert main(["campaign", "report", str(campaign_file), "--out", str(tmp_path / "o")]) == 0
+    assert "no stored record" in capsys.readouterr().out
+
+
+def test_campaign_run_parallel_matches_serial_store(campaign_file, tmp_path, capsys):
+    serial_root = tmp_path / "serial"
+    parallel_root = tmp_path / "parallel"
+    assert main(["campaign", "run", str(campaign_file), "--out", str(serial_root)]) == 0
+    assert main([
+        "campaign", "run", str(campaign_file),
+        "--out", str(parallel_root), "--processes", "2",
+    ]) == 0
+    capsys.readouterr()
+    serial_records = {
+        p.name: json.loads(p.read_text())
+        for p in (serial_root).glob("*/*.json")
+        if p.name != "campaign.json"
+    }
+    parallel_records = {
+        p.name: json.loads(p.read_text())
+        for p in (parallel_root).glob("*/*.json")
+        if p.name != "campaign.json"
+    }
+    assert serial_records == parallel_records
+    assert len(serial_records) == 4
+
+
+def test_campaign_run_csv(campaign_file, tmp_path, capsys):
+    csv_path = tmp_path / "rows.csv"
+    assert main([
+        "--csv", str(csv_path),
+        "campaign", "run", str(campaign_file), "--out", str(tmp_path / "o"),
+    ]) == 0
+    capsys.readouterr()
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("scenario,")
+    assert "final_accuracy" in header
+
+
+def test_campaign_missing_file_fails_cleanly(tmp_path, capsys):
+    assert main(["campaign", "run", str(tmp_path / "nope.json")]) == 1
+    assert "cannot load campaign" in capsys.readouterr().err
+
+
+def test_campaign_requires_action_and_target():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "run"])
+
+
+def test_ablation_scenarios_with_processes(capsys, tmp_path):
+    csv_path = tmp_path / "matrix.csv"
+    names_args = ["--csv", str(csv_path), "ablation", "scenarios", "--processes", "2"]
+    assert main(names_args) == 0
+    out = capsys.readouterr().out
+    assert "Fault-injection scenario matrix" in out
+    assert "mols-alie-all-faults" in out
+    assert csv_path.read_text().startswith("scenario,")

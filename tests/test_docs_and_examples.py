@@ -8,7 +8,10 @@ example scripts must at least parse and expose a ``main`` entry point.
 from __future__ import annotations
 
 import ast
+import os
 import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -92,6 +95,29 @@ def test_examples_directory_has_at_least_three_scenarios():
     scripts = list((REPO_ROOT / "examples").glob("*.py"))
     assert len(scripts) >= 3
     assert any(p.name == "quickstart.py" for p in scripts)
+
+
+def _run_tool(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.run(
+        [sys.executable, *args], cwd=REPO_ROOT, env=env,
+        capture_output=True, text=True,
+    )
+
+
+def test_api_reference_is_fresh():
+    """docs/API.md is generated; any drift from the code fails here (and in
+    CI's docs job) until `tools/gen_api_docs.py` is re-run."""
+    result = _run_tool("tools/gen_api_docs.py", "--check")
+    assert result.returncode == 0, result.stderr
+
+
+def test_doc_links_and_anchors_resolve():
+    result = _run_tool("tools/check_doc_links.py")
+    assert result.returncode == 0, result.stderr
 
 
 def test_benchmarks_cover_every_table_and_figure():

@@ -1,0 +1,20 @@
+"""Helpers shared by the documentation tools.
+
+Both ``gen_api_docs.py`` (which *writes* anchors into docs/API.md) and
+``check_doc_links.py`` (which *validates* them) must agree on the slug
+rule, so it lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["github_anchor"]
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's slug for a markdown heading (enough for our headings)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")

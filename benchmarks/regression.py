@@ -59,6 +59,52 @@ def make_round_tensor(num_files=25, replication=5, dim=10_000, corrupted=(0, 10,
     return values
 
 
+def replication_round_kernels() -> dict:
+    """Copy-on-write vs materialized replication through one round's PS path.
+
+    Both kernels run the same hot-path sequence at the paper's K=25 scale
+    (Ramanujan m=s=5: f=25, r=5, d = the K=25 MLP's ~11k parameters): pack
+    the honest (f, d) gradients into a VoteTensor, write an adversary's
+    payload into q=2 workers' slots, and aggregate through ByzShield.  The
+    COW kernel replicates lazily (shared base + per-slot overrides); the
+    materialized kernel builds the dense (f, r, d) cube up front, which is
+    what the round loop did before copy-on-write replication.  The float32
+    variants exercise the dtype seam on the same path.
+    """
+    assignment = RamanujanAssignment(m=5, s=5).assignment
+    dim = 11_274  # parameter count of the mlp benchmarked above (d ~= 11k)
+    honest64 = np.random.default_rng(3).standard_normal((assignment.num_files, dim))
+    honest32 = honest64.astype(np.float32)
+    workers = assignment.worker_slot_matrix()
+    files, slots = np.nonzero(np.isin(workers, (0, 7)))  # q=2 byzantine workers
+    payload64 = np.random.default_rng(4).standard_normal(dim)
+    payload32 = payload64.astype(np.float32)
+    pipeline = ByzShieldPipeline(assignment, validate=False)
+
+    def cow_round(honest, payload):
+        tensor = VoteTensor.from_honest(assignment, honest)
+        tensor.write_slots(files, slots, payload)
+        return pipeline.aggregate_tensor(tensor)
+
+    def materialized_round(honest, payload):
+        tensor = VoteTensor(
+            np.repeat(honest[:, None, :], workers.shape[1], axis=1), workers
+        )
+        tensor.write_slots(files, slots, payload)
+        return pipeline.aggregate_tensor(tensor)
+
+    return {
+        "replication_cow_round_f25_r5_d11k": lambda: cow_round(honest64, payload64),
+        "replication_materialized_round_f25_r5_d11k": lambda: materialized_round(
+            honest64, payload64
+        ),
+        "dtype_float32_cow_round_f25_r5_d11k": lambda: cow_round(honest32, payload32),
+        "dtype_float32_materialized_round_f25_r5_d11k": lambda: materialized_round(
+            honest32, payload32
+        ),
+    }
+
+
 #: gradient-engine sweep — (model key, file count) pairs benchmarked for both
 #: engines.  The mlp point at f=25 (d≈11k, the paper's K=25 regime) carries
 #: the ≥3x acceptance gate (see benchmarks/test_bench_micro.py).
@@ -110,6 +156,7 @@ def build_kernels() -> dict:
     rng = np.random.default_rng(0)
     votes = rng.standard_normal((25, 20_000))
     round_tensor = make_round_tensor()
+    round_tensor_f32 = round_tensor.astype(np.float32)
     median = CoordinateWiseMedian()
     krum = MultiKrumAggregator(num_byzantine=5)
     bulyan = BulyanAggregator(num_byzantine=5)
@@ -130,6 +177,9 @@ def build_kernels() -> dict:
         "majority_vote_tensor_tol_f25_r5_d10k": lambda: majority_vote_tensor(
             round_tensor, 0.5
         ),
+        "dtype_float32_majority_exact_f25_r5_d10k": lambda: majority_vote_tensor(
+            round_tensor_f32
+        ),
         "majority_vote_legacy_per_file_f25_r5_d10k": lambda: [
             _reference_exact_majority(round_tensor[i])
             for i in range(round_tensor.shape[0])
@@ -144,6 +194,7 @@ def build_kernels() -> dict:
         "multi_krum_25x20k": lambda: krum(votes),
         "bulyan_25x20k": lambda: bulyan(votes),
     }
+    kernels.update(replication_round_kernels())
     kernels.update(gradient_engine_kernels())
     return kernels
 
@@ -203,6 +254,15 @@ def report_speedups(results: dict) -> None:
     tensor = results["majority_vote_tensor_exact_f25_r5_d10k"]["min_s"]
     legacy = results["majority_vote_legacy_per_file_f25_r5_d10k"]["min_s"]
     print(f"\nvectorized majority vote speedup vs legacy loop: {legacy / tensor:.2f}x")
+    cow = results["replication_cow_round_f25_r5_d11k"]["min_s"]
+    dense = results["replication_materialized_round_f25_r5_d11k"]["min_s"]
+    print(f"copy-on-write replication speedup vs materialized: {dense / cow:.2f}x")
+    cow32 = results["dtype_float32_cow_round_f25_r5_d11k"]["min_s"]
+    dense32 = results["dtype_float32_materialized_round_f25_r5_d11k"]["min_s"]
+    print(
+        f"copy-on-write replication speedup vs materialized (float32): "
+        f"{dense32 / cow32:.2f}x"
+    )
     for model_key, num_files in GRADIENT_SWEEP:
         stacked = results[f"gradient_engine_stacked_{model_key}_f{num_files}"]["min_s"]
         looped = results[f"gradient_engine_looped_{model_key}_f{num_files}"]["min_s"]

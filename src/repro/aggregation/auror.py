@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator
+from repro.core.backend import ensure_float
 from repro.exceptions import AggregationError
 
 __all__ = ["AurorAggregator", "two_means_1d"]
@@ -25,7 +26,7 @@ def two_means_1d(values: np.ndarray, max_iterations: int = 50) -> tuple[np.ndarr
     membership in the higher-mean cluster.  Initialization uses the min and
     max, which for one dimension makes Lloyd's algorithm deterministic.
     """
-    values = np.asarray(values, dtype=np.float64).ravel()
+    values = ensure_float(values).ravel()
     low, high = float(values.min()), float(values.max())
     if low == high:
         return np.zeros(values.size, dtype=bool), low, high
@@ -61,7 +62,7 @@ class AurorAggregator(Aggregator):
 
     def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
         n, d = matrix.shape
-        output = np.empty(d, dtype=np.float64)
+        output = np.empty(d, dtype=matrix.dtype)
         stds = matrix.std(axis=0)
         for dim in range(d):
             column = matrix[:, dim]

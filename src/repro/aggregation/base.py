@@ -6,6 +6,7 @@ import abc
 
 import numpy as np
 
+from repro.core.backend import ensure_float
 from repro.exceptions import AggregationError
 from repro.utils.arrays import stack_vectors
 
@@ -15,9 +16,10 @@ __all__ = ["Aggregator"]
 class Aggregator(abc.ABC):
     """A rule turning ``n`` candidate gradients into one.
 
-    Subclasses implement :meth:`_aggregate` on a validated ``(n, d)`` float64
+    Subclasses implement :meth:`_aggregate` on a validated ``(n, d)`` float
     matrix; :meth:`__call__` handles input normalization (lists of vectors are
-    accepted) and sanity checks.
+    accepted) and sanity checks.  ``float32``/``float64`` inputs keep their
+    dtype through the rule; everything else is coerced to the backend default.
     """
 
     #: registry name; subclasses override
@@ -46,7 +48,7 @@ class Aggregator(abc.ABC):
                 matrix = stack_vectors(votes)
             except ValueError as exc:
                 raise AggregationError(str(exc)) from exc
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = ensure_float(matrix)
         if not np.all(np.isfinite(matrix)):
             # Byzantine workers may send NaN/Inf; robust rules must not crash,
             # so replace non-finite entries by large-magnitude finite values

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator
+from repro.core.backend import ensure_float
 from repro.exceptions import AggregationError
 
 __all__ = ["GeometricMedianAggregator", "geometric_median"]
@@ -23,7 +24,7 @@ def geometric_median(
     smoothing: float = 1e-12,
 ) -> np.ndarray:
     """Weiszfeld fixed-point iteration for the geometric median of the rows."""
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = ensure_float(matrix)
     if matrix.ndim != 2 or matrix.shape[0] == 0:
         raise AggregationError("geometric median needs a non-empty (n, d) matrix")
     estimate = matrix.mean(axis=0)

@@ -31,12 +31,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import bit_view_dtype, ensure_float
 from repro.exceptions import AggregationError
 from repro.utils.arrays import stack_vectors
 
 __all__ = [
     "majority_vote",
     "majority_vote_tensor",
+    "majority_vote_votetensor",
     "MajorityVote",
     "validate_tolerance",
 ]
@@ -109,17 +111,18 @@ def _bit_label_matrix(values: np.ndarray) -> np.ndarray:
     """Label each (file, slot) by bit-exact content: ``labels[i, k]`` is the
     smallest slot index of file ``i`` holding the same bytes as slot ``k``.
 
-    Equality is on raw bit patterns (a ``uint64`` view), matching the
-    reference's ``tobytes()`` semantics exactly: NaN payloads with equal bits
-    count as equal and ``-0.0 != +0.0``.  One vectorized anchor sweep
-    compares every slot to slot 0; the (typically few) mismatching slots are
-    grouped by a 64-bit positional hash, with every group member verified
-    against the group's first slot — a hash collision therefore never
-    corrupts the labels, it only demotes the affected files to a per-file
-    fallback.
+    Equality is on raw bit patterns (an unsigned-integer view of the same
+    width — ``uint64`` for float64 payloads, ``uint32`` for float32),
+    matching the reference's ``tobytes()`` semantics exactly: NaN payloads
+    with equal bits count as equal and ``-0.0 != +0.0``.  One vectorized
+    anchor sweep compares every slot to slot 0; the (typically few)
+    mismatching slots are grouped by a 64-bit positional hash, with every
+    group member verified against the group's first slot — a hash collision
+    therefore never corrupts the labels, it only demotes the affected files
+    to a per-file fallback.
     """
     f, r, d = values.shape
-    bits = np.ascontiguousarray(values).view(np.uint64)
+    bits = np.ascontiguousarray(values).view(bit_view_dtype(values.dtype))
     labels = np.zeros((f, r), dtype=np.int64)
     eq0 = (bits[:, 1:, :] == bits[:, :1, :]).all(axis=2)  # (f, r-1)
     mism_file, mism_slot = np.nonzero(~eq0)
@@ -127,7 +130,8 @@ def _bit_label_matrix(values: np.ndarray) -> np.ndarray:
         return labels
     mism_slot = mism_slot + 1  # eq0 starts at slot 1
     sub = bits[mism_file, mism_slot]  # (M, d) gather of the attacked slots
-    hashes = np.einsum("md,d->m", sub, _hash_weights(d))  # wraps mod 2**64
+    hashed = sub if sub.dtype == np.uint64 else sub.astype(np.uint64)
+    hashes = np.einsum("md,d->m", hashed, _hash_weights(d))  # wraps mod 2**64
     order = np.lexsort((hashes, mism_file))  # stable: slot-ascending in ties
     sf, sh, ss = mism_file[order], hashes[order], mism_slot[order]
     starts = np.empty(order.size, dtype=bool)
@@ -174,7 +178,7 @@ def _exact_majority_tensor(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if r == 1:
         return values[:, 0, :].copy(), np.ones(f, dtype=np.int64)
     if d == 0:
-        return np.zeros((f, 0), dtype=np.float64), np.full(f, r, dtype=np.int64)
+        return np.zeros((f, 0), dtype=values.dtype), np.full(f, r, dtype=np.int64)
     labels = _bit_label_matrix(values)
     sizes = _class_sizes(labels)
     # Lexicographic (count desc, anchor-slot asc): counts differ by >= 1
@@ -279,8 +283,9 @@ def majority_vote_tensor(
     -------
     winners, counts:
         ``(f, d)`` winning gradients and the ``(f,)`` vote counts they won by.
+        The winners keep the input's working dtype (float32 stays float32).
     """
-    values = np.asarray(values, dtype=np.float64)
+    values = ensure_float(values)
     if values.ndim != 3:
         raise AggregationError(
             f"vote tensor must be (f, r, d), got ndim={values.ndim}"
@@ -291,6 +296,102 @@ def majority_vote_tensor(
     if tolerance == 0.0:
         return _exact_majority_tensor(values)
     return _clustered_majority_tensor(values, tolerance)
+
+
+def majority_vote_votetensor(
+    tensor, tolerance: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Majority-vote a round straight from a :class:`VoteTensor`.
+
+    This is the pipelines' entry point.  Dense tensors go through
+    :func:`majority_vote_tensor` unchanged.  Lazy (copy-on-write) tensors
+    exploit the redundancy structure under exact voting: every file whose
+    slots were never overwritten holds ``r`` bit-identical copies of its
+    honest base row, so its winner *is* that row with count ``r``, and a
+    touched file's slots differ from the base only at its ``M`` overridden
+    (file, slot) pairs.  The kernel therefore compares just those ``M``
+    override payloads against the base (plus hash-grouping among
+    themselves, collision-verified exactly like the dense kernel), builds
+    the same smallest-slot bit-equality labels the dense kernel would, and
+    resolves winners from them — no ``(f, r, d)`` replica cube ever exists.
+
+    Tolerance-based voting averages each winning cluster, whose floating-
+    point reduction depends on the full slot layout; lazy tensors densify
+    first in that mode to stay bit-identical with the dense kernel.
+    """
+    tolerance = validate_tolerance(tolerance)
+    if not getattr(tensor, "is_lazy", False) or tolerance != 0.0:
+        return majority_vote_tensor(tensor.values, tolerance=tolerance)
+    f, r, d = tensor.shape
+    if r == 0:
+        raise AggregationError("majority vote needs at least one vote")
+    base = tensor.base_rows()
+    winners = base.copy()
+    counts = np.full(f, r, dtype=np.int64)
+    o_files, o_slots = tensor.overridden_slots()
+    if o_files.size == 0:
+        return winners, counts
+    rows = tensor.read_slots(o_files, o_slots)  # (M, d) override payloads
+    view = bit_view_dtype(rows.dtype)
+    eq_base = (
+        rows.view(view) == np.ascontiguousarray(base[o_files]).view(view)
+    ).all(axis=1)
+
+    touched = tensor.touched_files()
+    t = touched.size
+    file_pos = np.empty(f, dtype=np.int64)
+    file_pos[touched] = np.arange(t)
+    # content id per (touched file, slot): 0 = the honest base content,
+    # 1 + hash-group otherwise (group ids increase globally, so they are
+    # unique within every file).
+    cid = np.zeros((t, r), dtype=np.int64)
+    ne = np.nonzero(~eq_base)[0]
+    if ne.size:
+        sub, sf, ss = rows[ne], o_files[ne], o_slots[ne]
+        bits = sub.view(view)
+        hashed = bits if bits.dtype == np.uint64 else bits.astype(np.uint64)
+        hashes = np.einsum("md,d->m", hashed, _hash_weights(d))
+        # stable sort by (file, hash); ties keep the row-major (file, slot)
+        # input order, so each group's first member is its smallest slot —
+        # the dense kernel's anchor.
+        order = np.lexsort((hashes, sf))
+        of, oh = sf[order], hashes[order]
+        starts = np.empty(order.size, dtype=bool)
+        starts[0] = True
+        starts[1:] = (of[1:] != of[:-1]) | (oh[1:] != oh[:-1])
+        group = np.cumsum(starts) - 1
+        first_of_group = np.nonzero(starts)[0]
+        member = ~starts
+        verified = np.ones(order.size, dtype=bool)
+        if member.any():
+            anchor = order[first_of_group][group]
+            verified[member] = (
+                bits[order[member]] == bits[anchor[member]]
+            ).all(axis=1)
+        cid[file_pos[of], ss[order]] = 1 + group
+        if not verified.all():
+            # 64-bit hash collision: relabel the affected files' overrides
+            # with tobytes() keys, mirroring the dense kernel's fallback.
+            for i in np.unique(of[~verified]):
+                seen: dict[bytes, int] = {}
+                for j in np.nonzero(sf == i)[0]:
+                    key = sub[j].tobytes()
+                    cid[file_pos[i], ss[j]] = seen.setdefault(key, group.size + j + 1)
+    # labels[i, k]: smallest slot of the file holding slot k's content —
+    # identical to the dense kernel's _bit_label_matrix on these files.
+    labels = np.zeros((t, r), dtype=np.int64)
+    for k in range(1, r):
+        eq = cid[:, :k] == cid[:, k : k + 1]
+        labels[:, k] = np.where(eq.any(axis=1), eq.argmax(axis=1), k)
+    sizes = _class_sizes(labels)
+    score = sizes * r - np.arange(r)[None, :]
+    best_slot = score.argmax(axis=1)
+    counts[touched] = sizes[np.arange(t), best_slot]
+    # files where an override class out-votes the base keep that payload
+    fix = np.nonzero(cid[np.arange(t), best_slot] != 0)[0]
+    if fix.size:
+        winners[touched[fix]] = tensor.read_slots(touched[fix], best_slot[fix])
+    return winners, counts
 
 
 def majority_vote(votes, tolerance: float = 0.0) -> tuple[np.ndarray, int]:
@@ -307,7 +408,7 @@ def majority_vote(votes, tolerance: float = 0.0) -> tuple[np.ndarray, int]:
         representative and returns the mean of the winning cluster.
     """
     matrix = votes if isinstance(votes, np.ndarray) and votes.ndim == 2 else stack_vectors(votes)
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = ensure_float(matrix)
     if matrix.shape[0] == 0:
         raise AggregationError("majority vote needs at least one vote")
     winners, counts = majority_vote_tensor(matrix[None, :, :], tolerance=tolerance)

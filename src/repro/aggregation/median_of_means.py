@@ -36,7 +36,7 @@ class MedianOfMeansAggregator(Aggregator):
     def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
         n, d = matrix.shape
         groups = min(self.num_groups, n)
-        means = np.empty((groups, d), dtype=np.float64)
+        means = np.empty((groups, d), dtype=matrix.dtype)
         for g in range(groups):
             bucket = matrix[g::groups]
             means[g] = bucket.mean(axis=0)

@@ -98,4 +98,5 @@ class ALIEAttack(Attack):
         if context.num_byzantine == 0:
             return
         self.prepare(context)
-        tensor.values[tensor.byzantine_mask] = self._crafted
+        files, slots = np.nonzero(tensor.byzantine_mask)
+        tensor.write_slots(files, slots, self._crafted)

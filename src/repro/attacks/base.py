@@ -15,10 +15,34 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.backend import ensure_float
 from repro.exceptions import AttackError
 from repro.graphs.bipartite import BipartiteAssignment
 
-__all__ = ["AttackContext", "Attack"]
+__all__ = ["AttackContext", "Attack", "byzantine_write_order"]
+
+
+def byzantine_write_order(context: "AttackContext", tensor) -> tuple[np.ndarray, np.ndarray]:
+    """``(files, slots)`` of the Byzantine slots in the adapter's write order.
+
+    The dict-based :meth:`Attack.apply` adapter iterates Byzantine workers in
+    context order and, within a worker, its files in assignment order.
+    Stochastic attacks that vectorize :meth:`Attack.apply_tensor` must consume
+    their RNG stream in exactly that order to stay bit-identical with the
+    adapter, so they draw one stacked ``(m, d)`` sample and scatter it with
+    the pair list returned here.
+    """
+    files_list: list[int] = []
+    workers_list: list[int] = []
+    for worker in context.byzantine_workers:
+        for file in context.assignment.files_of_worker(worker):
+            files_list.append(int(file))
+            workers_list.append(int(worker))
+    files = np.asarray(files_list, dtype=np.int64)
+    workers = np.asarray(workers_list, dtype=np.int64)
+    rows = tensor.workers[files]
+    slots = (rows == workers[:, None]).argmax(axis=1)
+    return files, slots
 
 
 @dataclass(frozen=True)
@@ -109,9 +133,7 @@ class Attack(abc.ABC):
         crafted: dict[tuple[int, int], np.ndarray] = {}
         for worker in context.byzantine_workers:
             for file in context.assignment.files_of_worker(worker):
-                vector = np.asarray(
-                    self.craft(context, worker, file), dtype=np.float64
-                ).ravel()
+                vector = ensure_float(self.craft(context, worker, file)).ravel()
                 expected = context.gradient_dim
                 if vector.size != expected:
                     raise AttackError(

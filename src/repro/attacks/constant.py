@@ -40,4 +40,5 @@ class ConstantAttack(Attack):
     def apply_tensor(self, context: AttackContext, tensor) -> None:
         if context.num_byzantine == 0:
             return
-        tensor.values[tensor.byzantine_mask] = self.value
+        files, slots = np.nonzero(tensor.byzantine_mask)
+        tensor.write_slots(files, slots, self.value)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, AttackContext
+from repro.attacks.base import Attack, AttackContext, byzantine_write_order
 from repro.exceptions import AttackError
 
 __all__ = ["GaussianNoiseAttack", "UniformRandomAttack"]
@@ -43,6 +43,19 @@ class GaussianNoiseAttack(Attack):
             return context.honest_file_gradients[file] + noise
         return noise
 
+    def apply_tensor(self, context: AttackContext, tensor) -> None:
+        # Vectorized: one stacked (m, d) draw fills the RNG stream exactly as
+        # m successive (d,) draws do, so writing it in the adapter's
+        # worker-then-file order stays bit-identical to the dict path.
+        if context.num_byzantine == 0:
+            return
+        self.prepare(context)
+        files, slots = byzantine_write_order(context, tensor)
+        payload = context.rng.standard_normal((files.size, tensor.dim)) * self.sigma
+        if self.around_true_gradient:
+            payload += context.stacked_honest_gradients()[files]
+        tensor.write_slots(files, slots, payload)
+
 
 class UniformRandomAttack(Attack):
     """Return a uniform random vector in ``[-magnitude, magnitude]^d``."""
@@ -60,3 +73,14 @@ class UniformRandomAttack(Attack):
         return context.rng.uniform(
             -self.magnitude, self.magnitude, size=context.gradient_dim
         )
+
+    def apply_tensor(self, context: AttackContext, tensor) -> None:
+        # Same stream-order argument as GaussianNoiseAttack.apply_tensor.
+        if context.num_byzantine == 0:
+            return
+        self.prepare(context)
+        files, slots = byzantine_write_order(context, tensor)
+        payload = context.rng.uniform(
+            -self.magnitude, self.magnitude, size=(files.size, tensor.dim)
+        )
+        tensor.write_slots(files, slots, payload)

@@ -43,4 +43,4 @@ class ReversedGradientAttack(Attack):
             return
         files, slots = np.nonzero(tensor.byzantine_mask)
         honest = context.stacked_honest_gradients()
-        tensor.values[files, slots] = -self.scale * honest[files]
+        tensor.write_slots(files, slots, -self.scale * honest[files])

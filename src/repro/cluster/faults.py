@@ -103,10 +103,14 @@ def round_duration(events: "list[FaultEvent]", base: float = 0.0) -> float:
 
 
 def _zero_worker_votes(tensor: VoteTensor, worker: int) -> int:
-    """Zero every vote the given worker contributed; returns slots touched."""
-    mask = tensor.workers == int(worker)
-    tensor.values[mask] = 0.0
-    return int(mask.sum())
+    """Zero every vote the given worker contributed; returns slots touched.
+
+    Routed through the slot API so a lazily replicated tensor only
+    copy-on-writes the affected (file, slot) pairs instead of materializing.
+    """
+    files, slots = np.nonzero(tensor.workers == int(worker))
+    tensor.zero_slots(files, slots)
+    return int(files.size)
 
 
 class FaultInjector(abc.ABC):
@@ -284,14 +288,14 @@ class MessageCorruptionInjector(FaultInjector):
         hit = context.rng.random((f, r)) < self.probability
         if not hit.any():
             return []
-        if self.mode == "zero":
-            tensor.values[hit] = 0.0
-        elif self.mode == "scale":
-            tensor.values[hit] *= self.factor
-        else:
-            noise = context.rng.standard_normal((int(hit.sum()), d)) * self.factor
-            tensor.values[hit] += noise
         files, slots = np.nonzero(hit)
+        if self.mode == "zero":
+            tensor.zero_slots(files, slots)
+        elif self.mode == "scale":
+            tensor.scale_slots(files, slots, self.factor)
+        else:
+            noise = context.rng.standard_normal((files.size, d)) * self.factor
+            tensor.add_to_slots(files, slots, noise)
         return [
             FaultEvent(
                 kind=self.kind,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import ensure_float
 from repro.core.pipelines import AggregationPipeline, FileVotes
 from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import TrainingError
@@ -38,7 +39,9 @@ class ParameterServer:
         pipeline: AggregationPipeline,
         optimizer: SGD,
     ) -> None:
-        params = np.asarray(initial_params, dtype=np.float64).ravel()
+        # Keep the model's working dtype (float32 stays float32) so the PS
+        # update runs in the same precision as the workers' backward passes.
+        params = ensure_float(initial_params).ravel()
         if params.size == 0:
             raise TrainingError("initial parameter vector is empty")
         self._params = params.copy()

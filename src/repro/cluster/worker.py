@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.core.backend import ensure_float
 from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import TrainingError
 from repro.graphs.bipartite import BipartiteAssignment
@@ -120,9 +121,9 @@ class WorkerPool:
         losses = np.empty(len(files), dtype=np.float64)
         for i, (inputs, labels) in enumerate(files):
             gradient, loss = self.gradient_fn(params, inputs, labels)
-            vector = np.asarray(gradient, dtype=np.float64).ravel()
+            vector = ensure_float(gradient).ravel()
             if gradients is None:
-                gradients = np.empty((len(files), vector.size), dtype=np.float64)
+                gradients = np.empty((len(files), vector.size), dtype=vector.dtype)
             gradients[i] = vector
             losses[i] = float(loss)
         assert gradients is not None  # assignments always have >= 1 file
@@ -162,7 +163,7 @@ class WorkerPool:
                     # compressor is None here (enforced by the constructor).
                     inputs, labels = file_data[file_index]
                     gradient, _ = self.gradient_fn(params, inputs, labels)
-                    votes[worker] = np.asarray(gradient, dtype=np.float64).ravel()
+                    votes[worker] = ensure_float(gradient).ravel()
             file_votes[file_index] = votes
         return file_votes, honest, losses
 

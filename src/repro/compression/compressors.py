@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backend import ensure_float
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import as_generator
 
@@ -64,7 +65,7 @@ class Compressor(abc.ABC):
         """Compress a flat gradient and return the reconstruction + wire size."""
 
     def __call__(self, gradient: np.ndarray) -> CompressedGradient:
-        gradient = np.asarray(gradient, dtype=np.float64).ravel()
+        gradient = ensure_float(gradient).ravel()
         if gradient.size == 0:
             raise ConfigurationError("cannot compress an empty gradient")
         return self.compress(gradient)
@@ -82,7 +83,7 @@ class Compressor(abc.ABC):
 
     @staticmethod
     def _check_matrix(matrix: np.ndarray) -> np.ndarray:
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = ensure_float(matrix)
         if matrix.ndim != 2:
             raise ConfigurationError(
                 f"compress_matrix expects an (f, d) matrix, got shape {matrix.shape}"

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.compressors import CompressedGradient, Compressor
+from repro.core.backend import ensure_float
 from repro.exceptions import ConfigurationError
 
 __all__ = ["ErrorFeedback"]
@@ -44,7 +45,7 @@ class ErrorFeedback:
 
     def compress(self, sender: object, gradient: np.ndarray) -> CompressedGradient:
         """Compress ``gradient`` on behalf of ``sender`` with error feedback."""
-        gradient = np.asarray(gradient, dtype=np.float64).ravel()
+        gradient = ensure_float(gradient).ravel()
         residual = self._residuals.get(sender)
         if residual is None or residual.shape != gradient.shape:
             residual = np.zeros_like(gradient)

@@ -29,7 +29,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.aggregation.base import Aggregator
-from repro.aggregation.majority import MajorityVote, majority_vote_tensor
+from repro.aggregation.majority import MajorityVote, majority_vote_votetensor
 from repro.aggregation.mean import MeanAggregator
 from repro.aggregation.median import CoordinateWiseMedian
 from repro.core.vote_tensor import VoteTensor
@@ -143,7 +143,7 @@ class AggregationPipeline:
 
     def _majority_matrix(self, tensor: VoteTensor, voter: MajorityVote) -> np.ndarray:
         """Shared post-vote matrix of the majority-voting pipelines."""
-        winners, _ = majority_vote_tensor(tensor.values, voter.tolerance)
+        winners, _ = majority_vote_votetensor(tensor, voter.tolerance)
         return winners
 
     # -- helpers -----------------------------------------------------------------
@@ -207,7 +207,7 @@ class ByzShieldPipeline(AggregationPipeline):
         return self.aggregator(voted)
 
     def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
-        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
+        winners, _ = majority_vote_votetensor(tensor, self.voter.tolerance)
         return self.aggregator(winners)
 
     def voted_gradients(self, file_votes: FileVotes) -> np.ndarray:
@@ -266,7 +266,7 @@ class DetoxPipeline(AggregationPipeline):
         return self.aggregator(voted)
 
     def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
-        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
+        winners, _ = majority_vote_votetensor(tensor, self.voter.tolerance)
         return self.aggregator(winners)
 
     def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
@@ -325,7 +325,7 @@ class DracoPipeline(AggregationPipeline):
 
     def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
         self._check_applicable()
-        winners, _ = majority_vote_tensor(tensor.values, self.voter.tolerance)
+        winners, _ = majority_vote_votetensor(tensor, self.voter.tolerance)
         return self._mean(winners)
 
     def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
@@ -359,9 +359,10 @@ class VanillaPipeline(AggregationPipeline):
         return self.aggregator(stack_vectors(gradients))
 
     def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
-        # r == 1: slot 0 holds each file's single worker return.
-        return self.aggregator(tensor.values[:, 0, :])
+        # r == 1: slot 0 holds each file's single worker return; slot_rows
+        # avoids materializing a lazily replicated tensor.
+        return self.aggregator(tensor.slot_rows(0))
 
     def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
         # No vote stage: the aggregator sees the raw (K, d) worker returns.
-        return tensor.values[:, 0, :]
+        return tensor.slot_rows(0)

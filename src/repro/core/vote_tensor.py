@@ -6,7 +6,7 @@ consumer — attacks, majority voting, the aggregation pipelines — into
 per-file Python loops.  :class:`VoteTensor` replaces it on the hot path with
 three contiguous arrays:
 
-* ``values`` — ``(f, r, d)`` float64: ``values[i, k]`` is the gradient
+* ``values`` — ``(f, r, d)`` float: ``values[i, k]`` is the gradient
   returned for file ``i`` by its ``k``-th assigned worker;
 * ``workers`` — ``(f, r)`` int64: ``workers[i, k]`` is that worker's index.
   Every row is strictly increasing, matching the ``sorted(votes)`` order the
@@ -15,9 +15,28 @@ three contiguous arrays:
 * ``byzantine_mask`` — ``(f, r)`` bool: simulator-side bookkeeping of which
   slots hold adversarial payloads (the PS never reads it).
 
+Copy-on-write replication
+-------------------------
+
+Honest replicas of a file are bit-identical by construction (the paper's
+exact-voting premise), so the round's ``(f, r, d)`` tensor carries only
+``f`` distinct rows until an attack or fault rewrites a slot.
+:meth:`VoteTensor.from_honest` therefore builds a *lazy* tensor: one shared
+``(f, d)`` base matrix plus a per-(file, slot) override store that
+materializes rows only when they are actually written
+(:meth:`write_slots` / :meth:`set_vote` and friends).  A clean round — and
+the ``q = 0`` iterations of any attacked run — never copies a single
+replica.  Consumers that need the full dense cube can still read
+:attr:`values`; doing so materializes the tensor **once** and permanently
+switches it to dense mode so subsequent in-place writes through the array
+are never lost.  The vectorized majority kernel instead uses
+:meth:`touched_files` / :meth:`materialize_files` to densify only the files
+an adversary actually touched.
+
 Adapters (:meth:`VoteTensor.from_file_votes` / :meth:`VoteTensor.to_file_votes`)
-convert between the two representations so existing dict-based code keeps
-working while the trainer, simulator and benchmarks use the tensor path.
+convert between the tensor and the legacy representation so existing
+dict-based code keeps working while the trainer, simulator and benchmarks
+use the tensor path.
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.backend import ensure_float, resolve_dtype
 from repro.exceptions import AggregationError, ConfigurationError
 from repro.graphs.bipartite import BipartiteAssignment
 
@@ -38,7 +58,9 @@ class VoteTensor:
     Parameters
     ----------
     values:
-        ``(f, r, d)`` float64 array of returned gradients.
+        ``(f, r, d)`` float array of returned gradients (``float32`` and
+        ``float64`` are kept as-is; any other dtype is coerced to the
+        backend default).
     workers:
         ``(f, r)`` int64 matrix of the sending workers; rows must be strictly
         increasing (slot order == ascending worker index).
@@ -46,7 +68,15 @@ class VoteTensor:
         Optional ``(f, r)`` bool bookkeeping mask; defaults to all-honest.
     """
 
-    __slots__ = ("values", "workers", "byzantine_mask")
+    __slots__ = (
+        "workers",
+        "byzantine_mask",
+        "_dense",
+        "_base",
+        "_slot_map",
+        "_store",
+        "_num_overrides",
+    )
 
     def __init__(
         self,
@@ -54,7 +84,7 @@ class VoteTensor:
         workers: np.ndarray,
         byzantine_mask: np.ndarray | None = None,
     ) -> None:
-        values = np.ascontiguousarray(values, dtype=np.float64)
+        values = np.ascontiguousarray(ensure_float(values))
         workers = np.asarray(workers, dtype=np.int64)
         if values.ndim != 3:
             raise ConfigurationError(
@@ -65,56 +95,127 @@ class VoteTensor:
                 f"workers matrix has shape {workers.shape}, expected "
                 f"{values.shape[:2]}"
             )
+        self.workers = workers
+        self.byzantine_mask = self._checked_mask(byzantine_mask)
+        self._check_workers()
+        self._dense: np.ndarray | None = values
+        self._base: np.ndarray | None = None
+        self._slot_map: np.ndarray | None = None
+        self._store: np.ndarray | None = None
+        self._num_overrides = 0
+
+    def _check_workers(self) -> None:
+        workers = self.workers
         if workers.shape[1] > 1 and not np.all(workers[:, 1:] > workers[:, :-1]):
             raise ConfigurationError(
                 "workers matrix rows must be strictly increasing (slot order "
                 "is ascending worker index)"
             )
+
+    def _checked_mask(self, byzantine_mask: np.ndarray | None) -> np.ndarray:
         if byzantine_mask is None:
-            byzantine_mask = np.zeros(workers.shape, dtype=bool)
-        else:
-            byzantine_mask = np.asarray(byzantine_mask, dtype=bool)
-            if byzantine_mask.shape != workers.shape:
-                raise ConfigurationError(
-                    f"byzantine mask has shape {byzantine_mask.shape}, "
-                    f"expected {workers.shape}"
-                )
-        self.values = values
-        self.workers = workers
-        self.byzantine_mask = byzantine_mask
+            return np.zeros(self.workers.shape, dtype=bool)
+        byzantine_mask = np.asarray(byzantine_mask, dtype=bool)
+        if byzantine_mask.shape != self.workers.shape:
+            raise ConfigurationError(
+                f"byzantine mask has shape {byzantine_mask.shape}, "
+                f"expected {self.workers.shape}"
+            )
+        return byzantine_mask
 
     # -- basic properties ----------------------------------------------------
     @property
     def num_files(self) -> int:
         """Number of files ``f``."""
-        return int(self.values.shape[0])
+        return int(self.workers.shape[0])
 
     @property
     def replication(self) -> int:
         """Votes per file ``r``."""
-        return int(self.values.shape[1])
+        return int(self.workers.shape[1])
 
     @property
     def dim(self) -> int:
         """Gradient dimensionality ``d``."""
-        return int(self.values.shape[2])
+        if self._dense is not None:
+            return int(self._dense.shape[2])
+        assert self._base is not None
+        return int(self._base.shape[1])
 
     @property
     def shape(self) -> tuple[int, int, int]:
         """The ``(f, r, d)`` shape triple."""
         return (self.num_files, self.replication, self.dim)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Working float dtype of the vote payloads."""
+        if self._dense is not None:
+            return self._dense.dtype
+        assert self._base is not None
+        return self._base.dtype
+
+    # -- copy-on-write observables ------------------------------------------
+    @property
+    def is_lazy(self) -> bool:
+        """True while the tensor is still base + overrides (never densified)."""
+        return self._dense is None
+
+    @property
+    def num_overridden_slots(self) -> int:
+        """How many (file, slot) rows have been materialized by writes.
+
+        Always 0 for dense tensors; for lazy tensors this counts the
+        copy-on-write rows an attack/fault actually allocated — the ``q = 0``
+        fast path keeps it at zero for the whole round.
+        """
+        if self._dense is not None:
+            return 0
+        assert self._slot_map is not None
+        return int((self._slot_map >= 0).sum())
+
+    @property
+    def values(self) -> np.ndarray:
+        """The dense ``(f, r, d)`` cube.
+
+        On a lazy tensor this materializes the replicas **once** and
+        permanently switches the tensor to dense mode, so in-place writes
+        through the returned array (``tensor.values[mask] = x``) keep
+        working exactly as before copy-on-write existed.
+        """
+        if self._dense is None:
+            self._materialize()
+        assert self._dense is not None
+        return self._dense
+
+    def _materialize(self) -> None:
+        assert self._base is not None and self._slot_map is not None
+        dense = np.repeat(self._base[:, None, :], self.replication, axis=1)
+        idx = self._slot_map
+        files, slots = np.nonzero(idx >= 0)
+        if files.size:
+            assert self._store is not None
+            dense[files, slots] = self._store[idx[files, slots]]
+        self._dense = dense
+        self._base = None
+        self._slot_map = None
+        self._store = None
+        self._num_overrides = 0
+
     # -- constructors --------------------------------------------------------
     @classmethod
     def from_honest(
         cls, assignment: BipartiteAssignment, honest_matrix: np.ndarray
     ) -> "VoteTensor":
-        """Broadcast the ``(f, d)`` honest gradients into every assigned slot.
+        """Replicate the ``(f, d)`` honest gradients into every assigned slot.
 
         This is what the worker pool produces before any attack runs: each of
         file ``i``'s ``r`` workers returns a bit-identical copy of row ``i``.
+        The result is a *lazy* copy-on-write tensor — the honest rows are
+        shared, not copied, and per-replica storage appears only for the
+        slots an attack or fault rewrites.
         """
-        matrix = np.asarray(honest_matrix, dtype=np.float64)
+        matrix = np.ascontiguousarray(ensure_float(honest_matrix))
         if matrix.ndim != 2:
             raise ConfigurationError(
                 f"honest matrix must be (f, d), got ndim={matrix.ndim}"
@@ -125,8 +226,15 @@ class VoteTensor:
                 f"{assignment.num_files} files"
             )
         workers = assignment.worker_slot_matrix()
-        values = np.repeat(matrix[:, None, :], workers.shape[1], axis=1)
-        return cls(values, workers)
+        tensor = object.__new__(cls)
+        tensor.workers = workers
+        tensor.byzantine_mask = np.zeros(workers.shape, dtype=bool)
+        tensor._dense = None
+        tensor._base = matrix
+        tensor._slot_map = np.full(workers.shape, -1, dtype=np.int64)
+        tensor._store = np.empty((0, matrix.shape[1]), dtype=matrix.dtype)
+        tensor._num_overrides = 0
+        return tensor
 
     @classmethod
     def from_file_votes(
@@ -160,9 +268,10 @@ class VoteTensor:
                     f"assignment expects {[int(w) for w in workers[i]]}"
                 )
             for k, w in enumerate(got):
-                vector = np.asarray(votes[w], dtype=np.float64).ravel()
+                vector = ensure_float(votes[w]).ravel()
                 if values is None:
-                    values = np.empty((f, r, vector.size), dtype=np.float64)
+                    # Inherit the votes' working dtype (float32 stays float32).
+                    values = np.empty((f, r, vector.size), dtype=vector.dtype)
                 if vector.size != values.shape[2]:
                     raise AggregationError(
                         f"file {i}, worker {w}: vote has dimension "
@@ -190,6 +299,162 @@ class VoteTensor:
             }
         return out
 
+    # -- slot access (copy-on-write aware) -----------------------------------
+    def _override_rows(self, files: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Store indices of the given lazy slots, allocating rows for new ones."""
+        assert self._slot_map is not None and self._store is not None
+        idx = self._slot_map[files, slots]
+        fresh = idx < 0
+        if fresh.any():
+            count = int(fresh.sum())
+            needed = self._num_overrides + count
+            if needed > self._store.shape[0]:
+                capacity = max(needed, 2 * self._store.shape[0], 8)
+                grown = np.empty((capacity, self.dim), dtype=self._store.dtype)
+                grown[: self._num_overrides] = self._store[: self._num_overrides]
+                self._store = grown
+            new_idx = np.arange(self._num_overrides, needed, dtype=np.int64)
+            self._slot_map[files[fresh], slots[fresh]] = new_idx
+            self._num_overrides = needed
+            idx = self._slot_map[files, slots]
+        return idx
+
+    def write_slots(self, files, slots, rows) -> None:
+        """Overwrite the given (file, slot) votes — the vectorized attack path.
+
+        ``rows`` broadcasts against the ``(m, d)`` selection: a scalar fills
+        every coordinate, a ``(d,)`` vector is written to every selected
+        slot, an ``(m, d)`` matrix writes one row per slot.  On a lazy
+        tensor only the selected slots are materialized (copy-on-write);
+        the shared honest base is never touched.
+        """
+        files = np.asarray(files, dtype=np.int64).ravel()
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        if files.size == 0:
+            return
+        if self._dense is not None:
+            self._dense[files, slots] = rows
+            return
+        assert self._store is not None
+        idx = self._override_rows(files, slots)
+        self._store[idx] = rows
+
+    def read_slots(self, files, slots) -> np.ndarray:
+        """The ``(m, d)`` payloads of the given (file, slot) pairs (a copy)."""
+        files = np.asarray(files, dtype=np.int64).ravel()
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        if self._dense is not None:
+            return self._dense[files, slots]
+        assert self._base is not None and self._slot_map is not None
+        out = self._base[files]
+        idx = self._slot_map[files, slots]
+        overridden = idx >= 0
+        if overridden.any():
+            assert self._store is not None
+            out[overridden] = self._store[idx[overridden]]
+        return out
+
+    def add_to_slots(self, files, slots, rows) -> None:
+        """Add ``rows`` to the given slots (read-modify-write, COW aware)."""
+        files = np.asarray(files, dtype=np.int64).ravel()
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        if files.size == 0:
+            return
+        if self._dense is not None:
+            self._dense[files, slots] += rows
+            return
+        self.write_slots(files, slots, self.read_slots(files, slots) + rows)
+
+    def scale_slots(self, files, slots, factor: float) -> None:
+        """Multiply the given slots by ``factor`` (read-modify-write, COW aware)."""
+        files = np.asarray(files, dtype=np.int64).ravel()
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        if files.size == 0:
+            return
+        if self._dense is not None:
+            self._dense[files, slots] *= factor
+            return
+        self.write_slots(files, slots, self.read_slots(files, slots) * factor)
+
+    def zero_slots(self, files, slots) -> None:
+        """Zero the given slots (crash/timeout faults), COW aware."""
+        self.write_slots(files, slots, 0.0)
+
+    def slot_rows(self, slot: int) -> np.ndarray:
+        """The ``(f, d)`` matrix of one slot column (``values[:, slot, :]``).
+
+        Dense tensors return a view; lazy tensors return the shared base
+        (read-only view) when the column is untouched, otherwise a copy with
+        the overridden rows patched in.  The vanilla ``r = 1`` pipeline feeds
+        this straight to its robust aggregator without ever densifying.
+        """
+        if self._dense is not None:
+            return self._dense[:, slot, :]
+        assert self._base is not None and self._slot_map is not None
+        idx = self._slot_map[:, slot]
+        overridden = idx >= 0
+        if not overridden.any():
+            view = self._base.view()
+            view.setflags(write=False)
+            return view
+        assert self._store is not None
+        out = self._base.copy()
+        out[overridden] = self._store[idx[overridden]]
+        return out
+
+    def overridden_slots(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(files, slots)`` of every copy-on-write override, row-major order.
+
+        Only defined for lazy tensors: the pairs an attack or fault actually
+        wrote, sorted by (file, slot).  The exact-voting kernel uses this to
+        vote the touched files against the shared base without ever
+        materializing their replicas.
+        """
+        if self._dense is not None:
+            raise ConfigurationError(
+                "overridden_slots() is only defined for lazy (copy-on-write) "
+                "tensors"
+            )
+        assert self._slot_map is not None
+        files, slots = np.nonzero(self._slot_map >= 0)
+        return files, slots
+
+    def touched_files(self) -> np.ndarray:
+        """Sorted file indices with at least one overridden slot.
+
+        Dense tensors report every file (any slot may have been written
+        through :attr:`values`); the majority kernel only calls this on lazy
+        tensors, where it bounds the work to the attacked/faulted files.
+        """
+        if self._dense is not None:
+            return np.arange(self.num_files, dtype=np.int64)
+        assert self._slot_map is not None
+        return np.nonzero((self._slot_map >= 0).any(axis=1))[0]
+
+    def materialize_files(self, files) -> np.ndarray:
+        """Dense ``(t, r, d)`` sub-tensor of the given files (always a copy)."""
+        files = np.asarray(files, dtype=np.int64).ravel()
+        if self._dense is not None:
+            return self._dense[files]
+        assert self._base is not None and self._slot_map is not None
+        sub = np.repeat(self._base[files][:, None, :], self.replication, axis=1)
+        idx = self._slot_map[files]
+        fi, sl = np.nonzero(idx >= 0)
+        if fi.size:
+            assert self._store is not None
+            sub[fi, sl] = self._store[idx[fi, sl]]
+        return sub
+
+    def base_rows(self) -> np.ndarray:
+        """Read-only view of the shared honest base (lazy tensors only)."""
+        if self._base is None:
+            raise ConfigurationError(
+                "base_rows() is only defined for lazy (copy-on-write) tensors"
+            )
+        view = self._base.view()
+        view.setflags(write=False)
+        return view
+
     # -- mutation ------------------------------------------------------------
     def slot_of(self, file: int, worker: int) -> int:
         """Slot index ``k`` of ``worker`` in ``file``'s row (binary search)."""
@@ -203,12 +468,15 @@ class VoteTensor:
 
     def set_vote(self, file: int, worker: int, vector: np.ndarray) -> None:
         """Overwrite the vote of ``(worker, file)`` — the attack scatter path."""
-        vec = np.asarray(vector, dtype=np.float64).ravel()
+        vec = ensure_float(vector).ravel()
         if vec.size != self.dim:
             raise ConfigurationError(
                 f"vote has dimension {vec.size}, expected {self.dim}"
             )
-        self.values[file, self.slot_of(file, worker)] = vec
+        slot = self.slot_of(file, worker)
+        self.write_slots(
+            np.array([file], dtype=np.int64), np.array([slot], dtype=np.int64), vec
+        )
 
     def mark_byzantine(self, byzantine_workers) -> None:
         """Set the bookkeeping mask to the slots owned by these workers."""
@@ -220,11 +488,27 @@ class VoteTensor:
 
     # -- misc ----------------------------------------------------------------
     def copy(self) -> "VoteTensor":
-        """Deep copy (values, workers view is shared — it is read-only)."""
-        return VoteTensor(
-            self.values.copy(), self.workers, self.byzantine_mask.copy()
-        )
+        """Deep copy (values, workers view is shared — it is read-only).
+
+        A lazy tensor stays lazy: the clone shares the immutable honest base
+        and copies only the override bookkeeping, so copying a clean round
+        still costs O(f·r) instead of O(f·r·d).
+        """
+        if self._dense is not None:
+            return VoteTensor(self._dense.copy(), self.workers, self.byzantine_mask.copy())
+        assert self._base is not None and self._slot_map is not None
+        assert self._store is not None
+        clone = object.__new__(VoteTensor)
+        clone.workers = self.workers
+        clone.byzantine_mask = self.byzantine_mask.copy()
+        clone._dense = None
+        clone._base = self._base
+        clone._slot_map = self._slot_map.copy()
+        clone._store = self._store[: self._num_overrides].copy()
+        clone._num_overrides = self._num_overrides
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         f, r, d = self.shape
-        return f"VoteTensor(f={f}, r={r}, d={d})"
+        mode = "lazy" if self.is_lazy else "dense"
+        return f"VoteTensor(f={f}, r={r}, d={d}, {mode})"

@@ -4,17 +4,28 @@ All initializers take an explicit :class:`numpy.random.Generator` so model
 construction is deterministic given a seed — a requirement for the
 distributed experiments where every compared scheme must start from the same
 ``w₀`` (paper Algorithm 1, line 1).
+
+Each initializer accepts a ``dtype`` resolved through the backend seam
+(:mod:`repro.core.backend`); sampling always happens in ``float64`` — so a
+``float32`` model starts from the rounded ``float64`` weights, not from a
+different random stream — and the cast to the working dtype comes last.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import resolve_dtype
+
 __all__ = ["glorot_uniform", "he_normal", "zeros_init"]
 
 
 def glorot_uniform(
-    shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None, fan_out: int | None = None
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    fan_in: int | None = None,
+    fan_out: int | None = None,
+    dtype: object | None = None,
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialization: U(−a, a) with a = sqrt(6/(fan_in+fan_out))."""
     if fan_in is None or fan_out is None:
@@ -25,11 +36,14 @@ def glorot_uniform(
             fan_in = shape[1] * receptive
             fan_out = shape[0] * receptive
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype))
 
 
 def he_normal(
-    shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    fan_in: int | None = None,
+    dtype: object | None = None,
 ) -> np.ndarray:
     """He normal initialization: N(0, 2/fan_in), suited to ReLU networks."""
     if fan_in is None:
@@ -39,9 +53,9 @@ def he_normal(
             receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
             fan_in = shape[1] * receptive
     std = np.sqrt(2.0 / fan_in)
-    return (rng.standard_normal(shape) * std).astype(np.float64)
+    return (rng.standard_normal(shape) * std).astype(resolve_dtype(dtype))
 
 
-def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+def zeros_init(shape: tuple[int, ...], dtype: object | None = None) -> np.ndarray:
     """All-zeros initialization (biases, batch-norm shifts)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))

@@ -43,6 +43,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.backend import ensure_float, resolve_dtype
 from repro.exceptions import ConfigurationError
 from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
 from repro.utils.rng import as_generator
@@ -138,6 +139,9 @@ class Dense(Layer):
         Seed or generator for the He-normal weight initialization.
     use_bias:
         Include the additive bias term (default True).
+    dtype:
+        Working dtype of the parameters (see :mod:`repro.core.backend`);
+        inputs are coerced to it on entry.
     """
 
     per_file_capable = True
@@ -148,6 +152,7 @@ class Dense(Layer):
         out_features: int,
         rng: int | np.random.Generator | None = 0,
         use_bias: bool = True,
+        dtype: object | None = None,
     ) -> None:
         super().__init__()
         if in_features < 1 or out_features < 1:
@@ -156,14 +161,17 @@ class Dense(Layer):
         self.in_features = int(in_features)
         self.out_features = int(out_features)
         self.use_bias = bool(use_bias)
-        self.params["W"] = he_normal((in_features, out_features), generator, fan_in=in_features)
+        self.dtype = resolve_dtype(dtype)
+        self.params["W"] = he_normal(
+            (in_features, out_features), generator, fan_in=in_features, dtype=self.dtype
+        )
         if use_bias:
-            self.params["b"] = zeros_init((out_features,))
+            self.params["b"] = zeros_init((out_features,), dtype=self.dtype)
         self.zero_grads()
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ConfigurationError(
                 f"Dense expected input of shape (batch, {self.in_features}), got {x.shape}"
@@ -184,7 +192,7 @@ class Dense(Layer):
         return grad_output @ self.params["W"].T
 
     def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 3 or x.shape[2] != self.in_features:
             raise ConfigurationError(
                 f"Dense expected stacked input (f, batch, {self.in_features}), "
@@ -323,8 +331,12 @@ class Dropout(Layer):
         if not training or self.rate == 0.0:
             self._mask = None
             return x
+        x = ensure_float(x)
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # Cast the boolean mask to the input's working dtype before scaling so
+        # a float32 activation is not silently promoted (bit-identical at
+        # float64: the cast yields exact 0.0/1.0 before the division).
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -348,12 +360,18 @@ class BatchNorm(Layer):
         Running-statistics update coefficient.
     epsilon:
         Numerical stabilizer added to the variance.
+    dtype:
+        Working dtype of the parameters and running statistics.
     """
 
     per_file_capable = True
 
     def __init__(
-        self, num_features: int, momentum: float = 0.9, epsilon: float = 1e-5
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        epsilon: float = 1e-5,
+        dtype: object | None = None,
     ) -> None:
         super().__init__()
         if num_features < 1:
@@ -361,10 +379,11 @@ class BatchNorm(Layer):
         self.num_features = int(num_features)
         self.momentum = float(momentum)
         self.epsilon = float(epsilon)
-        self.params["gamma"] = np.ones(num_features, dtype=np.float64)
-        self.params["beta"] = np.zeros(num_features, dtype=np.float64)
-        self.running_mean = np.zeros(num_features, dtype=np.float64)
-        self.running_var = np.ones(num_features, dtype=np.float64)
+        self.dtype = resolve_dtype(dtype)
+        self.params["gamma"] = np.ones(num_features, dtype=self.dtype)
+        self.params["beta"] = np.zeros(num_features, dtype=self.dtype)
+        self.running_mean = np.zeros(num_features, dtype=self.dtype)
+        self.running_var = np.ones(num_features, dtype=self.dtype)
         self.zero_grads()
         self._cache: tuple | None = None
 
@@ -386,7 +405,7 @@ class BatchNorm(Layer):
         return flat.reshape(batch, height, width, channels).transpose(0, 3, 1, 2)
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        flat, shape = self._to_2d(np.asarray(x, dtype=np.float64))
+        flat, shape = self._to_2d(np.asarray(x, dtype=self.dtype))
         if flat.shape[1] != self.num_features:
             raise ConfigurationError(
                 f"BatchNorm expected {self.num_features} features, got {flat.shape[1]}"
@@ -409,7 +428,7 @@ class BatchNorm(Layer):
         if self._cache is None:
             raise ConfigurationError("backward called before forward on BatchNorm layer")
         normalized, std, shape, training = self._cache
-        grad_flat, _ = self._to_2d(np.asarray(grad_output, dtype=np.float64))
+        grad_flat, _ = self._to_2d(np.asarray(grad_output, dtype=self.dtype))
         self.grads["gamma"] = (grad_flat * normalized).sum(axis=0)
         self.grads["beta"] = grad_flat.sum(axis=0)
         n = grad_flat.shape[0]
@@ -447,7 +466,7 @@ class BatchNorm(Layer):
         return flat.reshape(f, batch, height, width, channels).transpose(0, 1, 4, 2, 3)
 
     def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        flat, shape = self._to_stacked_2d(np.asarray(x, dtype=np.float64))
+        flat, shape = self._to_stacked_2d(np.asarray(x, dtype=self.dtype))
         if flat.shape[2] != self.num_features:
             raise ConfigurationError(
                 f"BatchNorm expected {self.num_features} features, got {flat.shape[2]}"
@@ -483,7 +502,7 @@ class BatchNorm(Layer):
             raise ConfigurationError("backward_per_file called before forward_per_file")
         self._stacked_cache = None  # all-files activations must not outlive the round
         normalized, std, shape, training = cache
-        grad_flat, _ = self._to_stacked_2d(np.asarray(grad_output, dtype=np.float64))
+        grad_flat, _ = self._to_stacked_2d(np.asarray(grad_output, dtype=self.dtype))
         grads_out["gamma"][...] = (grad_flat * normalized).sum(axis=1)
         grads_out["beta"][...] = grad_flat.sum(axis=1)
         gamma = self.params["gamma"]
@@ -509,7 +528,7 @@ def _im2col(
     padded = np.pad(
         x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
     )
-    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=np.float64)
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype)
     for ky in range(kernel):
         y_max = ky + stride * out_h
         for kx in range(kernel):
@@ -533,7 +552,7 @@ def _col2im(
         0, 3, 4, 5, 1, 2
     )
     padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float64
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
     )
     for ky in range(kernel):
         y_max = ky + stride * out_h
@@ -558,6 +577,8 @@ class Conv2D(Layer):
         Standard convolution hyper-parameters.
     rng:
         Seed or generator for the He-normal kernel initialization.
+    dtype:
+        Working dtype of the kernel parameters; inputs are coerced to it.
     """
 
     per_file_capable = True
@@ -571,6 +592,7 @@ class Conv2D(Layer):
         padding: int = 0,
         rng: int | np.random.Generator | None = 0,
         use_bias: bool = True,
+        dtype: object | None = None,
     ) -> None:
         super().__init__()
         for name, value in (
@@ -590,17 +612,21 @@ class Conv2D(Layer):
         self.stride = int(stride)
         self.padding = int(padding)
         self.use_bias = bool(use_bias)
+        self.dtype = resolve_dtype(dtype)
         fan_in = in_channels * kernel_size * kernel_size
         self.params["W"] = he_normal(
-            (out_channels, in_channels, kernel_size, kernel_size), generator, fan_in=fan_in
+            (out_channels, in_channels, kernel_size, kernel_size),
+            generator,
+            fan_in=fan_in,
+            dtype=self.dtype,
         )
         if use_bias:
-            self.params["b"] = zeros_init((out_channels,))
+            self.params["b"] = zeros_init((out_channels,), dtype=self.dtype)
         self.zero_grads()
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ConfigurationError(
                 f"Conv2D expected input (batch, {self.in_channels}, H, W), got {x.shape}"
@@ -620,7 +646,7 @@ class Conv2D(Layer):
             raise ConfigurationError("backward called before forward on Conv2D layer")
         input_shape, cols, out_h, out_w = self._cache
         batch = input_shape[0]
-        grad = np.asarray(grad_output, dtype=np.float64).transpose(0, 2, 3, 1).reshape(
+        grad = np.asarray(grad_output, dtype=self.dtype).transpose(0, 2, 3, 1).reshape(
             batch * out_h * out_w, self.out_channels
         )
         weights = self.params["W"].reshape(self.out_channels, -1)
@@ -640,7 +666,7 @@ class Conv2D(Layer):
 
     # -- stacked per-file path ---------------------------------------------
     def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 5 or x.shape[2] != self.in_channels:
             raise ConfigurationError(
                 f"Conv2D expected stacked input (f, batch, {self.in_channels}, H, W), "
@@ -677,7 +703,7 @@ class Conv2D(Layer):
         self._stacked_cache = None
         input_shape, cols, out_h, out_w = cache
         f, batch = input_shape[:2]
-        grad = np.asarray(grad_output, dtype=np.float64).transpose(0, 1, 3, 4, 2).reshape(
+        grad = np.asarray(grad_output, dtype=self.dtype).transpose(0, 1, 3, 4, 2).reshape(
             f, batch * out_h * out_w, self.out_channels
         )
         weights = self.params["W"].reshape(self.out_channels, -1)
@@ -718,7 +744,7 @@ class MaxPool2D(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float(x)
         if x.ndim != 4:
             raise ConfigurationError(f"MaxPool2D expects 4-D input, got ndim={x.ndim}")
         batch, channels, height, width = x.shape
@@ -739,16 +765,18 @@ class MaxPool2D(Layer):
         input_shape, mask = self._cache
         batch, channels, height, width = input_shape
         p = self.pool_size
-        grad = np.asarray(grad_output, dtype=np.float64)[:, :, :, None, :, None]
+        grad = ensure_float(grad_output)[:, :, :, None, :, None]
         # Ties (equal maxima within a window) split the gradient evenly, which
-        # keeps the backward pass a true subgradient.
-        counts = mask.sum(axis=(3, 5), keepdims=True)
+        # keeps the backward pass a true subgradient.  The tie counts are cast
+        # to the gradient dtype so float32 gradients stay float32 (the values
+        # are small integers, so the cast — and the division — is exact).
+        counts = mask.sum(axis=(3, 5), keepdims=True).astype(grad.dtype)
         spread = mask * grad / counts
         return spread.reshape(batch, channels, height, width)
 
     # -- stacked per-file path ---------------------------------------------
     def forward_per_file(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float(x)
         if x.ndim != 5:
             raise ConfigurationError(
                 f"stacked MaxPool2D expects 5-D input, got ndim={x.ndim}"
@@ -773,8 +801,8 @@ class MaxPool2D(Layer):
             raise ConfigurationError("backward_per_file called before forward_per_file")
         self._stacked_cache = None  # all-files pooling mask must not outlive the round
         input_shape, mask = cache
-        grad = np.asarray(grad_output, dtype=np.float64)[:, :, :, :, None, :, None]
-        counts = mask.sum(axis=(4, 6), keepdims=True)
+        grad = ensure_float(grad_output)[:, :, :, :, None, :, None]
+        counts = mask.sum(axis=(4, 6), keepdims=True).astype(grad.dtype)
         spread = mask * grad / counts
         return spread.reshape(input_shape)
 
@@ -790,13 +818,17 @@ class ResidualDenseBlock(Layer):
     per_file_capable = True
 
     def __init__(
-        self, width: int, rng: int | np.random.Generator | None = 0
+        self,
+        width: int,
+        rng: int | np.random.Generator | None = 0,
+        dtype: object | None = None,
     ) -> None:
         super().__init__()
         generator = as_generator(rng)
         self.width = int(width)
-        self.dense1 = Dense(width, width, rng=generator)
-        self.dense2 = Dense(width, width, rng=generator)
+        self.dtype = resolve_dtype(dtype)
+        self.dense1 = Dense(width, width, rng=generator, dtype=self.dtype)
+        self.dense2 = Dense(width, width, rng=generator, dtype=self.dtype)
         self.relu1 = ReLU()
         self.relu2 = ReLU()
         self._sync_params()

@@ -1,4 +1,9 @@
-"""Loss functions with analytic gradients."""
+"""Loss functions with analytic gradients.
+
+Losses preserve the working dtype of their inputs: ``float32`` logits give
+``float32`` gradients (see :mod:`repro.core.backend`); anything else is
+coerced to the backend default, as before.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,7 @@ import abc
 
 import numpy as np
 
+from repro.core.backend import ensure_float
 from repro.exceptions import ConfigurationError
 
 __all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError", "softmax"]
@@ -13,7 +19,7 @@ __all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError", "softmax"]
 
 def softmax(logits: np.ndarray) -> np.ndarray:
     """Numerically stable softmax over the trailing (class) axis."""
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = ensure_float(logits)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=-1, keepdims=True)
@@ -35,10 +41,10 @@ class Loss(abc.ABC):
     # result must be bit-identical to the plain method on file ``i``.  The
     # defaults loop; concrete losses override with vectorized rules.
     def per_file_value(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        """Per-file mean losses, shape ``(f,)``."""
+        """Per-file mean losses, shape ``(f,)``, in the predictions' dtype."""
         return np.array(
             [self.value(predictions[i], targets[i]) for i in range(len(predictions))],
-            dtype=np.float64,
+            dtype=ensure_float(predictions).dtype,
         )
 
     def per_file_gradient(
@@ -61,7 +67,7 @@ class SoftmaxCrossEntropy(Loss):
         self.epsilon = float(epsilon)
 
     def _check(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        predictions = np.asarray(predictions, dtype=np.float64)
+        predictions = ensure_float(predictions)
         targets = np.asarray(targets)
         if predictions.ndim != 2:
             raise ConfigurationError(
@@ -92,7 +98,7 @@ class SoftmaxCrossEntropy(Loss):
     def _check_per_file(
         self, predictions: np.ndarray, targets: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        predictions = np.asarray(predictions, dtype=np.float64)
+        predictions = ensure_float(predictions)
         targets = np.asarray(targets)
         if predictions.ndim != 3:
             raise ConfigurationError(
@@ -126,8 +132,10 @@ class MeanSquaredError(Loss):
     """Mean squared error between predictions and real-valued targets."""
 
     def _check(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        predictions = np.asarray(predictions, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        predictions = ensure_float(predictions)
+        # Targets follow the prediction dtype so the residual (and thus the
+        # gradient) stays in the model's working dtype.
+        targets = np.asarray(targets, dtype=predictions.dtype)
         if predictions.shape != targets.shape:
             raise ConfigurationError(
                 f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"

@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.backend import DEFAULT_DTYPE, resolve_dtype
 from repro.exceptions import ConfigurationError
 from repro.nn.layers import (
     BatchNorm,
@@ -46,6 +47,18 @@ class Sequential:
             raise ConfigurationError("a model needs at least one layer")
         self.layers = list(layers)
         self.name = str(name)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The model's working dtype, read off the first parameter array.
+
+        Parameterless models report the backend default.  Mixed-dtype stacks
+        are not supported by the builders, so one probe suffices.
+        """
+        for layer in self.layers:
+            for _, array in layer.parameter_items():
+                return array.dtype
+        return DEFAULT_DTYPE
 
     # -- forward / backward ------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
@@ -90,15 +103,15 @@ class Sequential:
         return int(sum(array.size for array in self.parameter_arrays()))
 
     def get_flat_params(self) -> np.ndarray:
-        """Copy of all parameters as a single flat vector."""
+        """Copy of all parameters as a single flat vector (model dtype)."""
         arrays = self.parameter_arrays()
         if not arrays:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate([a.ravel() for a in arrays]).astype(np.float64)
+            return np.zeros(0, dtype=DEFAULT_DTYPE)
+        return np.concatenate([a.ravel() for a in arrays])
 
     def set_flat_params(self, flat: np.ndarray) -> None:
         """Write a flat vector back into the parameter arrays (in place)."""
-        flat = np.asarray(flat, dtype=np.float64).ravel()
+        flat = np.asarray(flat, dtype=self.dtype).ravel()
         expected = self.num_parameters()
         if flat.size != expected:
             raise ConfigurationError(
@@ -114,8 +127,8 @@ class Sequential:
         """Current gradients as a single flat vector (after a backward pass)."""
         arrays = self.gradient_arrays()
         if not arrays:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate([a.ravel() for a in arrays]).astype(np.float64)
+            return np.zeros(0, dtype=DEFAULT_DTYPE)
+        return np.concatenate([a.ravel() for a in arrays])
 
     def zero_grads(self) -> None:
         """Reset every layer's gradients."""
@@ -180,8 +193,9 @@ class Sequential:
         loss:
             The training loss.
         out:
-            Optional preallocated ``(f, d)`` float64 workspace the gradients
-            are written into (allocated when omitted, reusable across rounds).
+            Optional preallocated ``(f, d)`` workspace in the model dtype the
+            gradients are written into (allocated when omitted, reusable
+            across rounds).
 
         Returns
         -------
@@ -196,7 +210,8 @@ class Sequential:
             raise ConfigurationError(
                 f"model has layers without a stacked per-file rule: {unsupported}"
             )
-        x = np.asarray(x, dtype=np.float64)
+        dtype = self.dtype
+        x = np.asarray(x, dtype=dtype)
         if x.ndim < 2 or x.shape[0] < 1 or x.shape[1] < 1:
             raise ConfigurationError(
                 f"stacked inputs must be (files, batch, ...) with at least one "
@@ -204,10 +219,10 @@ class Sequential:
             )
         f, d = x.shape[0], self.num_parameters()
         if out is None:
-            out = np.empty((f, d), dtype=np.float64)
-        elif out.shape != (f, d) or out.dtype != np.float64 or not out.flags.c_contiguous:
+            out = np.empty((f, d), dtype=dtype)
+        elif out.shape != (f, d) or out.dtype != dtype or not out.flags.c_contiguous:
             raise ConfigurationError(
-                f"workspace must be a C-contiguous float64 array of shape "
+                f"workspace must be a C-contiguous {dtype} array of shape "
                 f"({f}, {d}), got {out.dtype} {out.shape}"
             )
         views = self._per_file_gradient_views(out)
@@ -231,6 +246,7 @@ def build_mlp(
     hidden: Sequence[int] = (64, 64),
     seed: int | np.random.Generator | None = 0,
     batch_norm: bool = False,
+    dtype: object | None = None,
 ) -> Sequential:
     """Multi-layer perceptron classifier.
 
@@ -244,17 +260,20 @@ def build_mlp(
         Initialization seed.
     batch_norm:
         Insert a BatchNorm after every hidden Dense layer.
+    dtype:
+        Working dtype of every layer (see :mod:`repro.core.backend`).
     """
     rng = as_generator(seed)
+    dtype = resolve_dtype(dtype)
     layers: list[Layer] = []
     width = input_dim
     for h in hidden:
-        layers.append(Dense(width, h, rng=rng))
+        layers.append(Dense(width, h, rng=rng, dtype=dtype))
         if batch_norm:
-            layers.append(BatchNorm(h))
+            layers.append(BatchNorm(h, dtype=dtype))
         layers.append(ReLU())
         width = h
-    layers.append(Dense(width, num_classes, rng=rng))
+    layers.append(Dense(width, num_classes, rng=rng, dtype=dtype))
     return Sequential(layers, name=f"mlp({input_dim}->{list(hidden)}->{num_classes})")
 
 
@@ -265,6 +284,7 @@ def build_cnn(
     kernel_size: int = 3,
     dense_width: int = 64,
     seed: int | np.random.Generator | None = 0,
+    dtype: object | None = None,
 ) -> Sequential:
     """Small convolutional classifier (Conv-ReLU-Pool blocks + dense head).
 
@@ -279,12 +299,20 @@ def build_cnn(
         spatial resolution with a 2x2 max pool.
     """
     rng = as_generator(seed)
+    dtype = resolve_dtype(dtype)
     in_channels, height, width = input_shape
     layers: list[Layer] = []
     current = in_channels
     for out_channels in channels:
         layers.append(
-            Conv2D(current, out_channels, kernel_size, padding=kernel_size // 2, rng=rng)
+            Conv2D(
+                current,
+                out_channels,
+                kernel_size,
+                padding=kernel_size // 2,
+                rng=rng,
+                dtype=dtype,
+            )
         )
         layers.append(ReLU())
         layers.append(MaxPool2D(2))
@@ -296,9 +324,9 @@ def build_cnn(
                 "too many conv blocks for the input resolution"
             )
     layers.append(Flatten())
-    layers.append(Dense(current * height * width, dense_width, rng=rng))
+    layers.append(Dense(current * height * width, dense_width, rng=rng, dtype=dtype))
     layers.append(ReLU())
-    layers.append(Dense(dense_width, num_classes, rng=rng))
+    layers.append(Dense(dense_width, num_classes, rng=rng, dtype=dtype))
     return Sequential(layers, name=f"cnn(channels={list(channels)})")
 
 
@@ -308,6 +336,7 @@ def build_resnet_lite(
     width: int = 64,
     num_blocks: int = 3,
     seed: int | np.random.Generator | None = 0,
+    dtype: object | None = None,
 ) -> Sequential:
     """Residual MLP — the repo's stand-in for ResNet-18 (see DESIGN.md).
 
@@ -315,10 +344,11 @@ def build_resnet_lite(
     identity residual blocks follow, and a linear head produces the logits.
     """
     rng = as_generator(seed)
-    layers: list[Layer] = [Dense(input_dim, width, rng=rng), ReLU()]
+    dtype = resolve_dtype(dtype)
+    layers: list[Layer] = [Dense(input_dim, width, rng=rng, dtype=dtype), ReLU()]
     for _ in range(num_blocks):
-        layers.append(ResidualDenseBlock(width, rng=rng))
-    layers.append(Dense(width, num_classes, rng=rng))
+        layers.append(ResidualDenseBlock(width, rng=rng, dtype=dtype))
+    layers.append(Dense(width, num_classes, rng=rng, dtype=dtype))
     return Sequential(
         layers, name=f"resnet_lite(width={width}, blocks={num_blocks})"
     )

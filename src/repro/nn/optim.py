@@ -13,6 +13,7 @@ import abc
 
 import numpy as np
 
+from repro.core.backend import ensure_float
 from repro.exceptions import ConfigurationError
 from repro.nn.models import Sequential
 
@@ -116,9 +117,14 @@ class SGD:
         self.iteration = 0
 
     def step_vector(self, params: np.ndarray, gradient: np.ndarray) -> np.ndarray:
-        """Return updated parameters given the current flat gradient."""
-        params = np.asarray(params, dtype=np.float64)
-        gradient = np.asarray(gradient, dtype=np.float64)
+        """Return updated parameters given the current flat gradient.
+
+        ``float32``/``float64`` inputs keep their dtype through the update
+        (the momentum buffer follows the parameter dtype); anything else is
+        coerced to the backend default.
+        """
+        params = ensure_float(params)
+        gradient = ensure_float(gradient)
         if params.shape != gradient.shape:
             raise ConfigurationError(
                 f"parameter/gradient shape mismatch: {params.shape} vs {gradient.shape}"

@@ -197,6 +197,7 @@ class ScenarioRunner:
             num_classes=spec.data.num_classes,
             hidden=spec.model.hidden,
             seed=spec.seed,
+            dtype=spec.dtype,
         )
         gradient_computer = ModelGradientComputer(model)
         compressor = None

@@ -22,6 +22,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.core.backend import SUPPORTED_DTYPES
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -371,11 +372,17 @@ class ScenarioSpec:
     attack: AttackSpec | None = None
     faults: tuple[FaultSpec, ...] = ()
     compression: CompressionSpec | None = None
+    dtype: str = "float64"
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("scenario requires a non-empty name")
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ConfigurationError(
+                f"unsupported scenario dtype {self.dtype!r}; "
+                f"expected one of {sorted(SUPPORTED_DTYPES)}"
+            )
 
     # -- dict / JSON round-trip ---------------------------------------------
     @classmethod
@@ -394,6 +401,7 @@ class ScenarioSpec:
                 "attack",
                 "faults",
                 "compression",
+                "dtype",
                 "description",
             ),
         )
@@ -414,6 +422,7 @@ class ScenarioSpec:
             compression=(
                 None if compression is None else CompressionSpec.from_dict(compression)
             ),
+            dtype=str(data.get("dtype", "float64")),
             description=str(data.get("description", "")),
         )
 
@@ -442,6 +451,10 @@ class ScenarioSpec:
             out["faults"] = [f.to_dict() for f in self.faults]
         if self.compression is not None:
             out["compression"] = self.compression.to_dict()
+        if self.dtype != "float64":
+            # Emitted only when non-default so existing float64 spec digests
+            # (and the golden traces pinned to them) are unchanged.
+            out["dtype"] = self.dtype
         if self.description:
             out["description"] = self.description
         return out

@@ -90,9 +90,10 @@ class ModelGradientComputer:
         Returns
         -------
         gradients, losses:
-            ``(f, d)`` float64 gradient matrix (one contiguous allocation)
-            and the ``(f,)`` per-file mean losses.  Each row is bit-identical
-            to what :meth:`__call__` returns for that file.
+            ``(f, d)`` gradient matrix in the model's working dtype (one
+            contiguous allocation) and the ``(f,)`` per-file mean losses.
+            Each row is bit-identical to what :meth:`__call__` returns for
+            that file.
 
         Notes
         -----
@@ -122,14 +123,14 @@ class ModelGradientComputer:
             # One workspace per round (it escapes into the round result, so
             # it cannot be recycled across rounds); every layer writes its
             # per-file gradients straight into views of it.
-            workspace = np.empty((len(files), self.dim), dtype=np.float64)
+            workspace = np.empty((len(files), self.dim), dtype=self.model.dtype)
             losses, gradients = self.model.per_file_loss_and_gradients(
                 stacked_inputs, stacked_labels, self.loss, out=workspace
             )
             self.last_engine = "stacked"
             return gradients, losses
-        gradients = np.empty((len(files), self.dim), dtype=np.float64)
-        losses = np.empty(len(files), dtype=np.float64)
+        gradients = np.empty((len(files), self.dim), dtype=self.model.dtype)
+        losses = np.empty(len(files), dtype=self.model.dtype)
         for i, (inputs, labels) in enumerate(files):
             value, gradient = self.model.loss_and_gradient(inputs, labels, self.loss)
             gradients[i] = gradient

@@ -1,9 +1,11 @@
 """Array manipulation helpers shared by the NN substrate and aggregators.
 
-Gradients travel through the system as flat ``float64`` vectors; these helpers
+Gradients travel through the system as flat float vectors; these helpers
 convert between a model's list of parameter arrays and that flat
 representation, and provide vectorized distance computations used by
-Krum-family aggregators.
+Krum-family aggregators.  All helpers preserve the supported working dtypes
+(``float32``/``float64``) instead of promoting to ``float64`` — see
+:mod:`repro.core.backend` — and coerce anything else to the backend default.
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+from repro.core.backend import DEFAULT_DTYPE, ensure_float
 
 __all__ = [
     "stack_vectors",
@@ -21,10 +25,10 @@ __all__ = [
 
 
 def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
-    """Concatenate a sequence of arrays into one flat float64 vector."""
+    """Concatenate a sequence of arrays into one flat float vector."""
     if len(arrays) == 0:
-        return np.zeros(0, dtype=np.float64)
-    return np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+        return np.zeros(0, dtype=DEFAULT_DTYPE)
+    return np.concatenate([ensure_float(a).ravel() for a in arrays])
 
 
 def unflatten_vector(
@@ -37,7 +41,7 @@ def unflatten_vector(
     ValueError
         If the vector length does not match the total number of elements.
     """
-    vector = np.asarray(vector, dtype=np.float64).ravel()
+    vector = ensure_float(vector).ravel()
     sizes = [int(np.prod(s)) if len(s) > 0 else 1 for s in shapes]
     total = int(sum(sizes))
     if vector.size != total:
@@ -53,10 +57,10 @@ def unflatten_vector(
 
 
 def stack_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
-    """Stack 1-D vectors into an ``(n, d)`` float64 matrix with validation."""
+    """Stack 1-D vectors into an ``(n, d)`` float matrix with validation."""
     if len(vectors) == 0:
         raise ValueError("cannot stack an empty sequence of vectors")
-    mats = [np.asarray(v, dtype=np.float64).ravel() for v in vectors]
+    mats = [ensure_float(v).ravel() for v in vectors]
     d = mats[0].size
     for i, m in enumerate(mats):
         if m.size != d:
@@ -73,7 +77,7 @@ def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
     Uses the ``||x||² + ||y||² − 2·x·y`` identity so the whole computation is
     a single matrix multiplication; numerical noise is clipped at zero.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = ensure_float(matrix)
     if matrix.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
     norms = np.einsum("ij,ij->i", matrix, matrix)

@@ -1,0 +1,384 @@
+"""Copy-on-write replication property tests.
+
+:meth:`VoteTensor.from_honest` builds a *lazy* tensor — one shared ``(f, d)``
+base plus per-(file, slot) overrides — instead of materializing the dense
+``(f, r, d)`` cube.  These tests pin the contract that makes that safe: for
+every pipeline, registered attack and fault injector, the lazy tensor is
+**bit-identical** to a fully materialized one, and the ``q = 0`` fast path
+never copies a single replica.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.assignment.baseline import BaselineAssignment
+from repro.assignment.frc import FRCAssignment
+from repro.assignment.mols import MOLSAssignment
+from repro.assignment.ramanujan import RamanujanAssignment
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.registry import available_attacks, create_attack
+from repro.cluster.faults import (
+    DropoutInjector,
+    FaultContext,
+    MessageCorruptionInjector,
+    StragglerInjector,
+)
+from repro.core.pipelines import (
+    ByzShieldPipeline,
+    DetoxPipeline,
+    DracoPipeline,
+    VanillaPipeline,
+)
+from repro.core.vote_tensor import VoteTensor
+from repro.exceptions import ConfigurationError
+
+DIM = 7
+
+SCHEMES = {
+    "mols": lambda: MOLSAssignment(load=5, replication=3).assignment,
+    "ramanujan": lambda: RamanujanAssignment(m=3, s=5).assignment,
+    "frc": lambda: FRCAssignment(num_workers=15, replication=3).assignment,
+    "baseline": lambda: BaselineAssignment(num_workers=10).assignment,
+}
+
+
+def pipelines_for(name, assignment):
+    if name in ("mols", "ramanujan"):
+        return [ByzShieldPipeline(assignment)]
+    if name == "frc":
+        return [
+            DetoxPipeline(assignment),
+            DracoPipeline(assignment, num_byzantine=1),
+        ]
+    return [VanillaPipeline(assignment, aggregator=CoordinateWiseMedian())]
+
+
+def honest_matrix_for(assignment, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((assignment.num_files, DIM))
+
+
+def make_pair(assignment, seed=0):
+    """(lazy, dense) tensors of the same honest round."""
+    matrix = honest_matrix_for(assignment, seed)
+    lazy = VoteTensor.from_honest(assignment, matrix)
+    r = assignment.worker_slot_matrix().shape[1]
+    dense = VoteTensor(
+        np.repeat(matrix[:, None, :], r, axis=1), assignment.worker_slot_matrix()
+    )
+    assert lazy.is_lazy and not dense.is_lazy
+    return lazy, dense, matrix
+
+
+def make_context(assignment, matrix, byzantine, seed=0):
+    return AttackContext(
+        assignment=assignment,
+        byzantine_workers=tuple(byzantine),
+        honest_file_gradients={i: matrix[i] for i in range(matrix.shape[0])},
+        iteration=1,
+        rng=np.random.default_rng(seed),
+        honest_matrix=matrix,
+    )
+
+
+def assert_tensors_identical(lazy, dense):
+    """Densify the lazy tensor and compare bit-for-bit."""
+    assert np.array_equal(
+        lazy.materialize_files(np.arange(lazy.num_files)), dense.values
+    )
+
+
+# --------------------------------------------------------------------------- #
+# q = 0 fast path: a clean round never copies a replica
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_q0_round_never_materializes(scheme):
+    assignment = SCHEMES[scheme]()
+    lazy, dense, _ = make_pair(assignment)
+    for lazy_pipe, dense_pipe in zip(
+        pipelines_for(scheme, assignment), pipelines_for(scheme, assignment)
+    ):
+        lazy_clone = lazy.copy()
+        out_lazy = lazy_pipe.aggregate_tensor(lazy_clone)
+        out_dense = dense_pipe.aggregate_tensor(dense.copy())
+        assert np.array_equal(out_lazy, out_dense), lazy_pipe.pipeline_name
+        # aggregation of a clean round must not densify nor allocate overrides
+        assert lazy_clone.is_lazy
+        assert lazy_clone.num_overridden_slots == 0
+
+
+def test_q0_attack_application_stays_lazy(mols_assignment):
+    lazy, _, matrix = make_pair(mols_assignment)
+    for name in available_attacks():
+        attack = create_attack(name)
+        context = make_context(mols_assignment, matrix, byzantine=())
+        attack.apply_tensor(context, lazy)
+    assert lazy.is_lazy and lazy.num_overridden_slots == 0
+
+
+# --------------------------------------------------------------------------- #
+# COW vs materialized: every registered attack, every scheme
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+@pytest.mark.parametrize("attack_name", available_attacks())
+def test_cow_matches_materialized_under_attack(scheme, attack_name):
+    assignment = SCHEMES[scheme]()
+    lazy, dense, matrix = make_pair(assignment, seed=3)
+    byzantine = (0, min(5, assignment.num_workers - 1))
+    attack = create_attack(attack_name)
+    for tensor in (lazy, dense):
+        tensor.mark_byzantine(byzantine)
+        context = make_context(assignment, matrix, byzantine, seed=11)
+        attack.apply_tensor(context, tensor)
+    assert lazy.is_lazy  # attacks go through the slot API, never .values
+    assert lazy.num_overridden_slots > 0
+    assert_tensors_identical(lazy, dense)
+    for lazy_pipe, dense_pipe in zip(
+        pipelines_for(scheme, assignment), pipelines_for(scheme, assignment)
+    ):
+        assert np.array_equal(
+            lazy_pipe.aggregate_tensor(lazy.copy()),
+            dense_pipe.aggregate_tensor(dense.copy()),
+        ), (attack_name, lazy_pipe.pipeline_name)
+
+
+# --------------------------------------------------------------------------- #
+# COW vs materialized: fault injectors
+# --------------------------------------------------------------------------- #
+INJECTORS = {
+    "straggler_timeout": lambda: StragglerInjector(
+        count=4, delay_model="exponential", delay=2.0, timeout=1.0
+    ),
+    "dropout": lambda: DropoutInjector(probability=0.4, down_for=2),
+    "corruption_zero": lambda: MessageCorruptionInjector(probability=0.3, mode="zero"),
+    "corruption_scale": lambda: MessageCorruptionInjector(
+        probability=0.3, mode="scale", factor=5.0
+    ),
+    "corruption_noise": lambda: MessageCorruptionInjector(
+        probability=0.3, mode="noise", factor=2.0
+    ),
+}
+
+
+@pytest.mark.parametrize("injector_name", sorted(INJECTORS))
+def test_cow_matches_materialized_under_faults(mols_assignment, injector_name):
+    lazy, dense, _ = make_pair(mols_assignment, seed=5)
+    events = []
+    for tensor in (lazy, dense):
+        injector = INJECTORS[injector_name]()
+        context = FaultContext(
+            assignment=mols_assignment, iteration=2, rng=np.random.default_rng(7)
+        )
+        events.append(injector.inject(tensor, context))
+    assert [e.as_dict() for e in events[0]] == [e.as_dict() for e in events[1]]
+    assert lazy.is_lazy
+    assert_tensors_identical(lazy, dense)
+
+
+def test_cow_matches_materialized_attack_then_faults(mols_assignment):
+    """The full hot-path sequence: attack writes, then every injector."""
+    lazy, dense, matrix = make_pair(mols_assignment, seed=9)
+    byzantine = (1, 4, 8)
+    attack = create_attack("gaussian_noise", sigma=3.0)
+    for tensor in (lazy, dense):
+        tensor.mark_byzantine(byzantine)
+        attack.apply_tensor(
+            context=make_context(mols_assignment, matrix, byzantine, seed=13),
+            tensor=tensor,
+        )
+        for injector_name in sorted(INJECTORS):
+            INJECTORS[injector_name]().inject(
+                tensor,
+                FaultContext(
+                    assignment=mols_assignment,
+                    iteration=0,
+                    rng=np.random.default_rng(17),
+                ),
+            )
+    assert lazy.is_lazy
+    assert_tensors_identical(lazy, dense)
+    pipeline = ByzShieldPipeline(mols_assignment)
+    assert np.array_equal(
+        pipeline.aggregate_tensor(lazy), pipeline.aggregate_tensor(dense)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized noise attacks vs the dict-based adapter fallback
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "attack_factory",
+    [
+        lambda: create_attack("gaussian_noise", sigma=2.5),
+        lambda: create_attack("gaussian_noise", sigma=1.0, around_true_gradient=True),
+        lambda: create_attack("uniform_random", magnitude=4.0),
+    ],
+    ids=["gaussian", "gaussian_around_true", "uniform"],
+)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_vectorized_noise_attacks_match_adapter(scheme, attack_factory):
+    """One stacked (m, d) draw must consume the RNG stream exactly as the
+    adapter's m successive (d,) draws do — bit-identical payloads."""
+    assignment = SCHEMES[scheme]()
+    byzantine = (0, 2, min(6, assignment.num_workers - 1))
+    lazy, dense, matrix = make_pair(assignment, seed=21)
+    attack = attack_factory()
+    lazy.mark_byzantine(byzantine)
+    dense.mark_byzantine(byzantine)
+    # vectorized override on the lazy tensor
+    attack.apply_tensor(make_context(assignment, matrix, byzantine, seed=23), lazy)
+    # base-class adapter (dict apply + per-slot scatter) on the dense tensor
+    Attack.apply_tensor(
+        attack, make_context(assignment, matrix, byzantine, seed=23), dense
+    )
+    assert lazy.is_lazy
+    assert_tensors_identical(lazy, dense)
+
+
+# --------------------------------------------------------------------------- #
+# Slot-API unit tests
+# --------------------------------------------------------------------------- #
+def test_write_and_read_slots_broadcast(mols_assignment):
+    lazy, dense, _ = make_pair(mols_assignment, seed=1)
+    files = np.array([0, 3, 3], dtype=np.int64)
+    slots = np.array([1, 0, 2], dtype=np.int64)
+    payload = np.arange(3 * DIM, dtype=np.float64).reshape(3, DIM)
+    for tensor in (lazy, dense):
+        tensor.write_slots(files, slots, payload)  # (m, d) rows
+        tensor.write_slots([5], [1], 2.5)  # scalar fill
+        tensor.write_slots([6], [2], np.full(DIM, -1.0))  # (d,) vector
+        assert np.array_equal(tensor.read_slots(files, slots), payload)
+        assert np.all(tensor.read_slots([5], [1]) == 2.5)
+    assert lazy.is_lazy and lazy.num_overridden_slots == 5
+    assert_tensors_identical(lazy, dense)
+
+
+def test_add_scale_zero_slots(mols_assignment):
+    lazy, dense, matrix = make_pair(mols_assignment, seed=2)
+    files = np.array([1, 2, 4], dtype=np.int64)
+    slots = np.array([0, 1, 2], dtype=np.int64)
+    delta = np.random.default_rng(3).standard_normal((3, DIM))
+    for tensor in (lazy, dense):
+        tensor.add_to_slots(files, slots, delta)
+        tensor.scale_slots(files[:2], slots[:2], 0.5)
+        tensor.zero_slots(files[2:], slots[2:])
+    assert_tensors_identical(lazy, dense)
+    # untouched replicas of a touched file still read the honest row
+    untouched_slot = 2 if 2 != slots[0] else 1
+    assert np.array_equal(lazy.read_slots([1], [untouched_slot])[0], matrix[1])
+
+
+def test_slot_rows_untouched_column_is_shared_readonly_base(mols_assignment):
+    lazy, _, matrix = make_pair(mols_assignment)
+    rows = lazy.slot_rows(0)
+    assert np.array_equal(rows, matrix)
+    assert not rows.flags.writeable
+    assert lazy.is_lazy  # slot_rows never densifies
+    # touching a slot in column 0 switches that column to a patched copy
+    lazy.write_slots([2], [0], 9.0)
+    patched = lazy.slot_rows(0)
+    assert patched.flags.writeable  # a copy now, not the shared base
+    assert np.all(patched[2] == 9.0)
+    assert np.array_equal(patched[0], matrix[0])
+
+
+def test_touched_files_and_materialize_files(mols_assignment):
+    lazy, _, matrix = make_pair(mols_assignment)
+    assert lazy.touched_files().size == 0
+    lazy.write_slots([4, 7], [1, 2], 1.5)
+    assert lazy.touched_files().tolist() == [4, 7]
+    sub = lazy.materialize_files([4, 7])
+    assert sub.shape == (2, lazy.replication, DIM)
+    assert np.all(sub[0, 1] == 1.5) and np.all(sub[1, 2] == 1.5)
+    assert np.array_equal(sub[0, 0], matrix[4])
+    assert lazy.is_lazy  # materialize_files is a per-file copy, not a switch
+
+
+def test_base_rows_only_defined_for_lazy(mols_assignment):
+    lazy, dense, matrix = make_pair(mols_assignment)
+    base = lazy.base_rows()
+    assert np.array_equal(base, matrix)
+    assert not base.flags.writeable
+    with pytest.raises(ConfigurationError):
+        dense.base_rows()
+
+
+def test_values_densifies_permanently_and_keeps_writes(mols_assignment):
+    lazy, _, matrix = make_pair(mols_assignment)
+    lazy.write_slots([3], [1], 7.0)
+    cube = lazy.values
+    assert not lazy.is_lazy
+    assert lazy.num_overridden_slots == 0  # dense tensors report zero
+    assert np.all(cube[3, 1] == 7.0)
+    # in-place writes through the dense cube are never lost
+    cube[0, 0] = -3.0
+    assert np.all(lazy.values[0, 0] == -3.0)
+    assert np.array_equal(lazy.values[0, 1], matrix[0])
+
+
+def test_lazy_copy_is_independent_and_cheap(mols_assignment):
+    lazy, _, matrix = make_pair(mols_assignment)
+    lazy.write_slots([2], [0], 4.0)
+    clone = lazy.copy()
+    assert clone.is_lazy
+    assert clone.base_rows() is not None
+    # the immutable honest base is shared, the override bookkeeping is not
+    assert clone.read_slots([2], [0])[0][0] == 4.0
+    clone.write_slots([5], [1], -2.0)
+    assert lazy.num_overridden_slots == 1
+    assert clone.num_overridden_slots == 2
+    assert np.array_equal(lazy.read_slots([5], [1])[0], matrix[5])
+    # writing to the original does not leak into the clone either
+    lazy.write_slots([2], [0], 8.0)
+    assert clone.read_slots([2], [0])[0][0] == 4.0
+
+
+def test_set_vote_routes_through_cow(mols_assignment):
+    lazy, dense, _ = make_pair(mols_assignment)
+    worker = int(lazy.workers[0, 1])
+    vec = np.full(DIM, 3.25)
+    lazy.set_vote(0, worker, vec)
+    dense.set_vote(0, worker, vec)
+    assert lazy.is_lazy and lazy.num_overridden_slots == 1
+    assert_tensors_identical(lazy, dense)
+
+
+def test_float32_round_stays_float32_through_cow(mols_assignment):
+    matrix = (
+        np.random.default_rng(0)
+        .standard_normal((mols_assignment.num_files, DIM))
+        .astype(np.float32)
+    )
+    lazy = VoteTensor.from_honest(mols_assignment, matrix)
+    assert lazy.dtype == np.float32
+    lazy.write_slots([1], [0], 2.0)
+    assert lazy.read_slots([1], [0]).dtype == np.float32
+    assert lazy.values.dtype == np.float32
+
+
+def test_lazy_majority_survives_hash_collisions(monkeypatch, mols_assignment):
+    """Degenerate hash weights throw every override into one bucket; the lazy
+    kernel's collision fallback must still match the dense kernel bit-for-bit."""
+    from repro.aggregation import majority as majority_module
+    from repro.aggregation.majority import (
+        majority_vote_tensor,
+        majority_vote_votetensor,
+    )
+
+    monkeypatch.setitem(
+        majority_module._HASH_WEIGHTS, DIM, np.zeros(DIM, dtype=np.uint64)
+    )
+    f = mols_assignment.num_files
+    rng = np.random.default_rng(11)
+    for _ in range(40):
+        lazy, _, _ = make_pair(mols_assignment, seed=int(rng.integers(1 << 30)))
+        for _ in range(int(rng.integers(0, 2 * f))):
+            i, k = int(rng.integers(f)), int(rng.integers(3))
+            payload = float(rng.integers(-1, 2))  # small alphabet: real dupes
+            lazy.write_slots([i], [k], payload)
+        dense_values = lazy.materialize_files(np.arange(f)).copy()
+        lw, lc = majority_vote_votetensor(lazy)
+        dw, dc = majority_vote_tensor(dense_values)
+        np.testing.assert_array_equal(lw, dw)
+        np.testing.assert_array_equal(lc, dc)

@@ -41,6 +41,8 @@ from repro.aggregation.majority import (
 )
 from repro.aggregation.median import CoordinateWiseMedian
 from repro.assignment.ramanujan import RamanujanAssignment
+from repro.cluster.events import AsyncRuntime, EventDrivenRound, base_arrival_times
+from repro.cluster.timing import CostModel
 from repro.core.pipelines import ByzShieldPipeline
 from repro.core.vote_tensor import VoteTensor
 from repro.nn.models import build_cnn, build_mlp, build_resnet_lite
@@ -101,6 +103,33 @@ def replication_round_kernels() -> dict:
         "dtype_float32_cow_round_f25_r5_d11k": lambda: cow_round(honest32, payload32),
         "dtype_float32_materialized_round_f25_r5_d11k": lambda: materialized_round(
             honest32, payload32
+        ),
+    }
+
+
+def event_round_kernels() -> dict:
+    """Event-engine PS loop at the paper's K=25 scale (f=25, r=5, d≈11k).
+
+    Both kernels build the round's COW vote tensor, then run the discrete-
+    event collection over the unperturbed arrival schedule.  The inf-deadline
+    kernel is the sync-equivalent mode (accept everything); the quorum kernel
+    closes each file after 3 of its 5 copies and pays the rejection path
+    (late events + slot zeroing) for the other two.
+    """
+    assignment = RamanujanAssignment(m=5, s=5).assignment
+    dim = 11_274  # parameter count of the benchmarked K=25 MLP (d ~= 11k)
+    honest = np.random.default_rng(5).standard_normal((assignment.num_files, dim))
+    samples = np.full(assignment.num_files, 8.0)
+    base = base_arrival_times(assignment, CostModel(), dim, samples)
+
+    def event_round(runtime):
+        tensor = VoteTensor.from_honest(assignment, honest)
+        return EventDrivenRound(runtime).collect(tensor, base)
+
+    return {
+        "event_round_inf_deadline_f25_r5_d11k": lambda: event_round(AsyncRuntime()),
+        "event_round_quorum3_f25_r5_d11k": lambda: event_round(
+            AsyncRuntime(deadline=0.5, quorum=3)
         ),
     }
 
@@ -195,6 +224,7 @@ def build_kernels() -> dict:
         "bulyan_25x20k": lambda: bulyan(votes),
     }
     kernels.update(replication_round_kernels())
+    kernels.update(event_round_kernels())
     kernels.update(gradient_engine_kernels())
     return kernels
 

@@ -1,0 +1,44 @@
+"""Full-catalog sync-equivalence sweep for the event-driven runtime.
+
+Tier-1 property-tests a representative pipelines x attacks x faults subset
+(``tests/test_event_engine.py``); this bench-tier sweep replays *every*
+synchronous catalog scenario twice — once on the lockstep round loop, once
+under an event runtime with ``deadline=inf`` — and asserts the two traces
+agree bit-exactly on every stage except the round clock, which the two
+engines intentionally define differently (legacy ``max(delay) + base`` vs
+the event engine's arrival-schedule clock).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import RuntimeSpec, get_scenario, run_scenario, scenario_names
+
+SYNC_SCENARIOS = [
+    name for name in scenario_names() if not get_scenario(name).runtime.is_event
+]
+
+
+@pytest.mark.parametrize("name", SYNC_SCENARIOS)
+def test_inf_deadline_event_run_matches_sync_trace(name):
+    spec = get_scenario(name)
+    event_spec = dataclasses.replace(
+        spec, runtime=RuntimeSpec(deadline=float("inf"))
+    )
+    sync = run_scenario(spec)
+    event = run_scenario(event_spec)
+    assert len(sync.trace.rounds) == len(event.trace.rounds)
+    for a, b in zip(sync.trace.rounds, event.trace.rounds):
+        assert a.votes_digest == b.votes_digest
+        assert a.winners_digest == b.winners_digest
+        assert a.aggregate_digest == b.aggregate_digest
+        assert a.params_digest == b.params_digest
+        assert a.mean_loss_hex == b.mean_loss_hex
+        assert a.faults == b.faults
+        assert a.q == b.q and a.byzantine == b.byzantine
+        assert a.num_distorted == b.num_distorted
+    assert sync.trace.final_params_digest == event.trace.final_params_digest
+    assert sync.trace.final_accuracy_hex == event.trace.final_accuracy_hex

@@ -339,7 +339,17 @@ def _run_scenario_cmd(args: argparse.Namespace) -> str:
         lines = ["Golden scenario matrix:"]
         for name in scenario_names():
             spec = get_scenario(name)
-            lines.append(f"  {name}: {spec.description}")
+            runtime = ""
+            if spec.runtime.is_event:
+                parts = []
+                if spec.runtime.deadline is not None:
+                    parts.append(f"deadline={spec.runtime.deadline:g}s")
+                if spec.runtime.quorum is not None:
+                    parts.append(f"quorum={spec.runtime.quorum}")
+                if spec.runtime.partial:
+                    parts.append("partial")
+                runtime = f" [async: {', '.join(parts)}]"
+            lines.append(f"  {name}: {spec.description}{runtime}")
         lines.append("")
         lines.append("Run one with: repro scenario run <name | spec.json>")
         return "\n".join(lines)

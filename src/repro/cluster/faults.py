@@ -10,9 +10,10 @@ faults exactly as they would see adversarial returns:
 
 * :class:`StragglerInjector` — a subset of workers is slow each round.  The
   delay is sampled from a deterministic or exponential model; with a timeout
-  set, a worker whose delay exceeds it is abandoned by the PS and its votes
-  are zeroed (a crash-like benign fault the vote must out-count).  The
-  simulated round duration is the slowest surviving worker.
+  set, a worker that fails to arrive strictly before it (``delay >=
+  timeout``) is abandoned by the PS and its votes are zeroed (a crash-like
+  benign fault the vote must out-count).  The simulated round duration is
+  the slowest surviving worker.
 * :class:`DropoutInjector` — crash-stop churn: each live worker goes down
   with some probability and stays down for ``down_for`` rounds before
   rejoining; a downed worker's votes are zeroed.
@@ -24,13 +25,23 @@ Every injector draws randomness only from the generator handed to
 :meth:`FaultInjector.inject`; the simulator derives one independent stream
 per injector per round (see ``TrainingCluster``), so enabling or re-ordering
 fault injectors never perturbs the attack's RNG stream, and identical seeds
-give bit-identical fault sequences.
+give bit-identical fault sequences.  Each injector's draws are a pure
+function of ``(seed, round, shape)`` — never of the realized fault history
+or of the tensor's copy-on-write override layout — so fault sequences are
+replayable independently of what the attack or the other injectors did.
+
+The event-driven runtime (:mod:`repro.cluster.events`) reuses the same
+injectors: payload effects are injected exactly as above, and
+:func:`arrival_perturbations` reexpresses the realized events as
+arrival-time perturbations (per-worker extra delay, workers whose messages
+never arrive) for the discrete-event round engine.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -45,6 +56,7 @@ __all__ = [
     "StragglerInjector",
     "DropoutInjector",
     "MessageCorruptionInjector",
+    "arrival_perturbations",
     "round_duration",
 ]
 
@@ -65,41 +77,101 @@ class FaultEvent:
     Attributes
     ----------
     kind:
-        Injector kind (``"straggler"``, ``"dropout"``, ``"corruption"``).
+        Event kind: ``"straggler"``, ``"dropout"`` or ``"corruption"`` for
+        the injectors below, ``"late"`` for a message rejected by the
+        event-driven runtime's deadline/quorum cutoff.
     worker:
-        Affected worker, or ``-1`` for message-level faults.
+        Affected worker.  Worker-level faults (stragglers, dropout) always
+        record it; message-level faults (corruption, late messages) record
+        the *sender* of the affected ``(file, slot)`` message, resolved via
+        ``tensor.workers``, so traces can attribute every corrupted or
+        discarded payload to a specific worker.
     file:
         Affected file for message-level faults, ``-1`` otherwise.
+    slot:
+        Replica slot of the affected message within the file's row, recorded
+        by the event-runtime's ``"late"`` rejections; ``-1`` otherwise
+        (for corruption events the slot is recoverable as
+        ``tensor.slot_of(file, worker)``).
     delay:
-        Simulated extra latency in seconds (stragglers; 0 otherwise).
+        Simulated extra latency in seconds (stragglers), or the simulated
+        arrival time of a ``"late"`` message; 0 otherwise.
     dropped:
-        True when the fault removed the worker's contribution (votes zeroed).
+        True when the fault removed the contribution (votes zeroed).
     """
 
     kind: str
     worker: int = -1
     file: int = -1
+    slot: int = -1
     delay: float = 0.0
     dropped: bool = False
 
     def as_dict(self) -> dict[str, object]:
-        """JSON-friendly form used by scenario traces (delay hex-exact)."""
-        return {
+        """JSON-friendly form used by scenario traces (delay hex-exact).
+
+        ``slot`` is omitted when absent (< 0): pre-existing event kinds
+        serialize exactly as before, so golden traces recorded without slot
+        attribution keep their digests.
+        """
+        out: dict[str, object] = {
             "kind": self.kind,
             "worker": self.worker,
             "file": self.file,
             "delay": float(self.delay).hex(),
             "dropped": self.dropped,
         }
+        if self.slot >= 0:
+            out["slot"] = self.slot
+        return out
 
 
 def round_duration(events: "list[FaultEvent]", base: float = 0.0) -> float:
-    """Simulated wall-clock of a round: the slowest surviving worker.
+    """Simulated wall-clock of a *synchronous* round: the slowest survivor.
 
     Workers abandoned at a timeout do not extend the round beyond their
-    recorded (already clamped) delay.
+    recorded (already clamped) delay.  This is the legacy lockstep model —
+    the PS waits for the slowest surviving worker regardless of quorum.  The
+    event-driven runtime does **not** use it: there the round duration comes
+    from the engine's clock (deadline/quorum semantics, see
+    :mod:`repro.cluster.events`), which under quorum aggregation ends the
+    round at the quorum-satisfying arrival rather than the slowest survivor.
     """
     return max((event.delay for event in events), default=0.0) + base
+
+
+def arrival_perturbations(
+    events: "Sequence[FaultEvent]",
+) -> tuple[dict[int, float], set[int]]:
+    """Reexpress realized fault events as arrival-time perturbations.
+
+    The event-driven runtime injects payload faults through the same
+    injectors as the synchronous path (identical RNG streams), then maps the
+    realized events onto message timing:
+
+    * a surviving straggler delays every message its worker sends by the
+      sampled amount;
+    * a dropped straggler (PS timeout) or a crashed worker (dropout) never
+      delivers — its messages get an infinite arrival time, which the engine
+      zeroes exactly like the synchronous path zeroes abandoned votes;
+    * corruption perturbs payloads in flight but not timing.
+
+    Returns ``(extra_delay, never_arrives)``: per-worker added delay in
+    simulated seconds, and the set of workers whose messages never arrive.
+    """
+    extra_delay: dict[int, float] = {}
+    never_arrives: set[int] = set()
+    for event in events:
+        if event.kind == StragglerInjector.kind:
+            if event.dropped:
+                never_arrives.add(event.worker)
+            else:
+                extra_delay[event.worker] = (
+                    extra_delay.get(event.worker, 0.0) + event.delay
+                )
+        elif event.kind == DropoutInjector.kind and event.dropped:
+            never_arrives.add(event.worker)
+    return extra_delay, never_arrives
 
 
 def _zero_worker_votes(tensor: VoteTensor, worker: int) -> int:
@@ -142,8 +214,10 @@ class StragglerInjector(FaultInjector):
     delay:
         The fixed delay or the exponential mean, in simulated seconds.
     timeout:
-        When set, a straggler later than this is abandoned: its votes are
-        zeroed and its recorded delay is clamped to the timeout.
+        When set, the PS abandons any straggler that does not arrive
+        *strictly before* the timeout (``delay >= timeout`` — the deadline
+        is exclusive, matching the event engine's deadline comparison): its
+        votes are zeroed and its recorded delay is clamped to the timeout.
     """
 
     kind = "straggler"
@@ -182,7 +256,9 @@ class StragglerInjector(FaultInjector):
             delays = context.rng.exponential(self.delay, size=count)
         events: list[FaultEvent] = []
         for worker, delay in zip(stragglers, delays):
-            dropped = self.timeout is not None and delay > self.timeout
+            # Exclusive deadline: arrival must be strictly before the
+            # timeout, so a delay exactly equal to it is abandoned too.
+            dropped = self.timeout is not None and delay >= self.timeout
             if dropped:
                 _zero_worker_votes(tensor, int(worker))
                 delay = self.timeout
@@ -296,6 +372,12 @@ class MessageCorruptionInjector(FaultInjector):
         else:
             noise = context.rng.standard_normal((files.size, d)) * self.factor
             tensor.add_to_slots(files, slots, noise)
+        # Attribution: each corrupted (file, slot) message records its sender
+        # (slot -> worker via tensor.workers) alongside the file, so traces
+        # can pin the exact cell; the slot itself is recoverable as
+        # ``tensor.slot_of(file, worker)`` and stays out of the event (and
+        # its serialized form) so goldens recorded before the event-driven
+        # runtime keep their digests.
         return [
             FaultEvent(
                 kind=self.kind,

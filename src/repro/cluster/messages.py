@@ -27,12 +27,18 @@ class GradientMessage:
     is_byzantine:
         Bookkeeping flag recorded by the simulator (the PS never sees it);
         used by tests and diagnostics only.
+    arrival_time:
+        Simulated arrival time at the PS (seconds since the round's
+        broadcast), stamped by the event-driven runtime; ``None`` on the
+        synchronous path, ``inf`` for messages that were never sent
+        (crashed / timed-out workers).
     """
 
     worker: int
     file: int
     gradient: np.ndarray
     is_byzantine: bool = False
+    arrival_time: float | None = None
 
 
 @dataclass
@@ -95,10 +101,23 @@ class TensorRoundResult:
     mean_file_loss:
         Average training loss over the round's files.
     fault_events:
-        Benign faults injected this round (stragglers, dropout, corruption).
+        Benign faults injected this round (stragglers, dropout, corruption),
+        plus the event runtime's ``"late"`` rejections.
     round_time:
-        Simulated round duration in seconds (slowest surviving worker); 0
-        when no straggler model is active.
+        Simulated round duration in seconds.  Synchronous rounds use the
+        legacy model (slowest surviving worker; 0 when no straggler model is
+        active); event-driven rounds report the engine clock at round close
+        (last quorum-satisfying arrival, else the deadline).
+    arrivals:
+        Event runtime only: ``(f, r)`` simulated arrival time of each
+        message (``inf`` = never sent); ``None`` on the synchronous path.
+    accepted:
+        Event runtime only: ``(f, r)`` bool mask of the messages the PS
+        accepted before its deadline/quorum cutoff; ``None`` otherwise.
+    aggregation_mask:
+        The mask the aggregation pipelines should apply — ``accepted`` when
+        the runtime's *partial* mode is on, else ``None`` (missing slots
+        then vote as zeros, the synchronous convention).
     """
 
     vote_tensor: VoteTensor
@@ -109,6 +128,9 @@ class TensorRoundResult:
     mean_file_loss: float = float("nan")
     fault_events: tuple[FaultEvent, ...] = ()
     round_time: float = 0.0
+    arrivals: np.ndarray | None = None
+    accepted: np.ndarray | None = None
+    aggregation_mask: np.ndarray | None = None
 
     @property
     def dropped_workers(self) -> tuple[int, ...]:
@@ -133,6 +155,15 @@ class TensorRoundResult:
                 file=file_index,
                 gradient=gradient,
                 is_byzantine=worker in byzantine,
+                arrival_time=(
+                    None
+                    if self.arrivals is None
+                    else float(
+                        self.arrivals[
+                            file_index, self.vote_tensor.slot_of(file_index, worker)
+                        ]
+                    )
+                ),
             )
             for file_index, votes in file_votes.items()
             for worker, gradient in votes.items()

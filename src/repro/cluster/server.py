@@ -62,9 +62,16 @@ class ParameterServer:
         """Run the aggregation pipeline without updating the model."""
         return self.pipeline.aggregate(file_votes)
 
-    def aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
-        """Run the aggregation pipeline on the packed tensor (hot path)."""
-        return self.pipeline.aggregate_tensor(tensor)
+    def aggregate_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Run the aggregation pipeline on the packed tensor (hot path).
+
+        ``arrived`` is the event runtime's partial-aggregation mask — the
+        ``(f, r)`` copies the PS accepted before its deadline/quorum cutoff;
+        ``None`` (synchronous rounds) aggregates every slot.
+        """
+        return self.pipeline.aggregate_tensor(tensor, arrived)
 
     def _apply_gradient(self, gradient: np.ndarray) -> np.ndarray:
         if gradient.shape != self._params.shape:
@@ -83,9 +90,11 @@ class ParameterServer:
         """
         return self._apply_gradient(self.aggregate(file_votes))
 
-    def update_tensor(self, tensor: VoteTensor) -> np.ndarray:
+    def update_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
         """Tensor analogue of :meth:`update` (same step, packed returns)."""
-        return self._apply_gradient(self.aggregate_tensor(tensor))
+        return self._apply_gradient(self.aggregate_tensor(tensor, arrived))
 
     def state_digest(self) -> str:
         """Stable hex digest of the current global parameters.

@@ -14,7 +14,19 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
 from repro.attacks.selection import ByzantineSelector
-from repro.cluster.faults import FaultContext, FaultEvent, FaultInjector, round_duration
+from repro.cluster.events import (
+    AsyncRuntime,
+    EventDrivenRound,
+    base_arrival_times,
+    perturbed_arrival_times,
+)
+from repro.cluster.faults import (
+    FaultContext,
+    FaultEvent,
+    FaultInjector,
+    arrival_perturbations,
+    round_duration,
+)
 from repro.cluster.messages import GradientMessage, RoundResult, TensorRoundResult
 from repro.cluster.worker import WorkerPool
 from repro.core.distortion import distorted_files
@@ -47,6 +59,15 @@ class TrainingCluster:
         RNG stream every round, independent of the selector/attack stream,
         so adding or removing an injector never changes the adversary's
         randomness (and vice versa).
+    runtime:
+        Event-driven round configuration (:class:`AsyncRuntime`).  ``None``
+        (the default) keeps the lockstep synchronous round; when set,
+        :meth:`run_round_tensor` replays the same compute/attack/fault
+        sequence, then runs the PS-side event loop — messages arrive on the
+        runtime's cost-model clock (fault delays included) and are accepted
+        until the deadline or a per-file quorum fires.  With
+        ``deadline=inf`` and no quorum the produced votes are bit-identical
+        to the synchronous path.
     """
 
     def __init__(
@@ -57,6 +78,7 @@ class TrainingCluster:
         selector: ByzantineSelector | None = None,
         seed: int | np.random.Generator | None = 0,
         fault_injectors: Sequence[FaultInjector] = (),
+        runtime: AsyncRuntime | None = None,
     ) -> None:
         if worker_pool.assignment is not assignment and worker_pool.assignment != assignment:
             raise TrainingError("worker pool and cluster use different assignments")
@@ -64,6 +86,16 @@ class TrainingCluster:
             raise TrainingError(
                 "attack and selector must both be provided or both omitted"
             )
+        if (
+            runtime is not None
+            and runtime.quorum is not None
+            and runtime.quorum > assignment.replication
+        ):
+            raise TrainingError(
+                f"runtime quorum {runtime.quorum} exceeds the assignment's "
+                f"replication r={assignment.replication}: no file could close"
+            )
+        self.runtime = runtime
         self.assignment = assignment
         self.worker_pool = worker_pool
         self.attack = attack
@@ -146,6 +178,11 @@ class TrainingCluster:
                 "fault injection is only supported on the tensor round path; "
                 "use run_round_tensor"
             )
+        if self.runtime is not None:
+            raise TrainingError(
+                "the event-driven runtime is only supported on the tensor "
+                "round path; use run_round_tensor"
+            )
         rng = self._round_rng(iteration)
         file_votes, honest, losses = self.worker_pool.honest_returns(params, file_data)
 
@@ -216,6 +253,11 @@ class TrainingCluster:
 
         fault_events = self._inject_faults(tensor, iteration)
         mean_loss = float(np.mean(losses)) if losses.size else float("nan")
+        if self.runtime is not None:
+            return self._finish_event_round(
+                tensor, honest_matrix, byzantine, losses, mean_loss,
+                fault_events, file_data,
+            )
         return TensorRoundResult(
             vote_tensor=tensor,
             honest_matrix=honest_matrix,
@@ -225,4 +267,50 @@ class TrainingCluster:
             mean_file_loss=mean_loss,
             fault_events=fault_events,
             round_time=round_duration(list(fault_events)),
+        )
+
+    def _finish_event_round(
+        self,
+        tensor,
+        honest_matrix: np.ndarray,
+        byzantine: tuple[int, ...],
+        losses: np.ndarray,
+        mean_loss: float,
+        fault_events: tuple[FaultEvent, ...],
+        file_data: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> TensorRoundResult:
+        """PS-side event loop of an async round (see the ``runtime`` docs).
+
+        Payload faults were already applied by the synchronous injector pass
+        (identical RNG streams), so this step only *re-times* them: realized
+        straggler delays shift arrivals, crashes/timeouts never arrive, and
+        the event engine decides which of the remaining messages beat the
+        deadline / quorum cutoff.
+        """
+        runtime = self.runtime
+        assert runtime is not None
+        samples = np.array(
+            [file_data[i][0].shape[0] for i in range(self.assignment.num_files)],
+            dtype=np.float64,
+        )
+        base = base_arrival_times(
+            self.assignment, runtime.cost_model, tensor.dim, samples
+        )
+        extra_delay, never_arrives = arrival_perturbations(fault_events)
+        arrivals = perturbed_arrival_times(
+            base, tensor.workers, extra_delay, never_arrives
+        )
+        outcome = EventDrivenRound(runtime).collect(tensor, arrivals)
+        return TensorRoundResult(
+            vote_tensor=tensor,
+            honest_matrix=honest_matrix,
+            byzantine_workers=byzantine,
+            distorted_files=self._corrupted_files(byzantine),
+            file_losses=losses,
+            mean_file_loss=mean_loss,
+            fault_events=fault_events + outcome.late_events,
+            round_time=outcome.round_time,
+            arrivals=outcome.arrivals,
+            accepted=outcome.accepted,
+            aggregation_mask=outcome.accepted if runtime.partial else None,
         )

@@ -78,6 +78,17 @@ def _validate_vote_tensor(expected: np.ndarray, tensor: VoteTensor) -> None:
         )
 
 
+def _checked_arrival_mask(tensor: VoteTensor, arrived: np.ndarray) -> np.ndarray:
+    """Validate a partial-aggregation ``(f, r)`` arrival mask."""
+    arrived = np.asarray(arrived, dtype=bool)
+    if arrived.shape != tensor.workers.shape:
+        raise AggregationError(
+            f"arrival mask has shape {arrived.shape}, expected "
+            f"{tensor.workers.shape}"
+        )
+    return arrived
+
+
 class AggregationPipeline:
     """Base class: defines the pipeline interface and shared vote handling.
 
@@ -114,36 +125,79 @@ class AggregationPipeline:
             _validate_file_votes(self.assignment, file_votes)
         return self._aggregate(file_votes)
 
-    def aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+    def aggregate_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
         """Aggregate one iteration's returns from the packed tensor (hot path).
 
         Produces a result bit-identical to :meth:`aggregate` on the
         equivalent ``file_votes`` dict, without per-file Python loops.
+
+        ``arrived`` enables the event runtime's *partial aggregation* mode:
+        an ``(f, r)`` bool mask of the copies the PS actually accepted this
+        round.  Voting pipelines then vote each file over its arrived copies
+        only (a file with no arrivals contributes a zero winner); the vanilla
+        pipeline drops missing worker rows from the robust stage.  ``None``
+        (the default, and the whole synchronous path) treats every slot as
+        present — missing contributions appear as the zero votes the fault
+        injectors wrote.
         """
         if self.validate:
             _validate_vote_tensor(self._expected_slot_matrix(), tensor)
-        return self._aggregate_tensor(tensor)
+        if arrived is not None:
+            arrived = _checked_arrival_mask(tensor, arrived)
+        return self._aggregate_tensor(tensor, arrived)
 
     def _aggregate(self, file_votes: FileVotes) -> np.ndarray:
         raise NotImplementedError
 
-    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+    def _aggregate_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
+    def post_vote_matrix(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
         """The ``(n, d)`` matrix the second-stage aggregator sees.
 
         For voting pipelines these are the per-file majority winners; for the
         vanilla pipeline the raw worker gradients.  Scenario traces digest
         this matrix per round to pin the voting stage independently of the
-        robust aggregation that follows.  Every concrete pipeline must
-        override this explicitly.
+        robust aggregation that follows.  ``arrived`` applies the partial-
+        aggregation mask (see :meth:`aggregate_tensor`).  Every concrete
+        pipeline must override this explicitly.
         """
         raise NotImplementedError
 
-    def _majority_matrix(self, tensor: VoteTensor, voter: MajorityVote) -> np.ndarray:
-        """Shared post-vote matrix of the majority-voting pipelines."""
+    def _majority_matrix(
+        self,
+        tensor: VoteTensor,
+        voter: MajorityVote,
+        arrived: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Shared post-vote matrix of the majority-voting pipelines.
+
+        Without a mask every slot votes (the synchronous semantics).  With a
+        partial-aggregation mask, files whose copies all arrived keep the
+        vectorized winner; each incomplete file is re-voted over its arrived
+        copies only, and a file with no arrivals contributes a zero winner —
+        the same "missing = zero gradient" convention the fault injectors
+        use, so the robust stage sees a consistent shape every round.
+        """
         winners, _ = majority_vote_votetensor(tensor, voter.tolerance)
+        if arrived is None:
+            return winners
+        incomplete = np.nonzero(~arrived.all(axis=1))[0]
+        if incomplete.size == 0:
+            return winners
+        sub = tensor.materialize_files(incomplete)
+        for pos, i in enumerate(incomplete):
+            slots = np.nonzero(arrived[i])[0]
+            if slots.size == 0:
+                winners[i] = 0.0
+            else:
+                winners[i] = voter(sub[pos, slots])
         return winners
 
     # -- helpers -----------------------------------------------------------------
@@ -206,9 +260,10 @@ class ByzShieldPipeline(AggregationPipeline):
         voted = self._voted_file_gradients(file_votes, self.voter)
         return self.aggregator(voted)
 
-    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
-        winners, _ = majority_vote_votetensor(tensor, self.voter.tolerance)
-        return self.aggregator(winners)
+    def _aggregate_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None
+    ) -> np.ndarray:
+        return self.aggregator(self._majority_matrix(tensor, self.voter, arrived))
 
     def voted_gradients(self, file_votes: FileVotes) -> np.ndarray:
         """Expose the post-vote ``(f, d)`` matrix (useful for analysis/tests)."""
@@ -216,14 +271,20 @@ class ByzShieldPipeline(AggregationPipeline):
             _validate_file_votes(self.assignment, file_votes)
         return self._voted_file_gradients(file_votes, self.voter)
 
-    def voted_gradients_tensor(self, tensor: VoteTensor) -> np.ndarray:
+    def voted_gradients_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
         """Tensor analogue of :meth:`voted_gradients`."""
         if self.validate:
             _validate_vote_tensor(self._expected_slot_matrix(), tensor)
-        return self._majority_matrix(tensor, self.voter)
+        if arrived is not None:
+            arrived = _checked_arrival_mask(tensor, arrived)
+        return self._majority_matrix(tensor, self.voter, arrived)
 
-    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
-        return self._majority_matrix(tensor, self.voter)
+    def post_vote_matrix(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
+        return self._majority_matrix(tensor, self.voter, arrived)
 
 
 class DetoxPipeline(AggregationPipeline):
@@ -265,12 +326,15 @@ class DetoxPipeline(AggregationPipeline):
         voted = self._voted_file_gradients(file_votes, self.voter)
         return self.aggregator(voted)
 
-    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
-        winners, _ = majority_vote_votetensor(tensor, self.voter.tolerance)
-        return self.aggregator(winners)
+    def _aggregate_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None
+    ) -> np.ndarray:
+        return self.aggregator(self._majority_matrix(tensor, self.voter, arrived))
 
-    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
-        return self._majority_matrix(tensor, self.voter)
+    def post_vote_matrix(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
+        return self._majority_matrix(tensor, self.voter, arrived)
 
 
 class DracoPipeline(AggregationPipeline):
@@ -323,13 +387,16 @@ class DracoPipeline(AggregationPipeline):
         voted = self._voted_file_gradients(file_votes, self.voter)
         return self._mean(voted)
 
-    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+    def _aggregate_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None
+    ) -> np.ndarray:
         self._check_applicable()
-        winners, _ = majority_vote_votetensor(tensor, self.voter.tolerance)
-        return self._mean(winners)
+        return self._mean(self._majority_matrix(tensor, self.voter, arrived))
 
-    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
-        return self._majority_matrix(tensor, self.voter)
+    def post_vote_matrix(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
+        return self._majority_matrix(tensor, self.voter, arrived)
 
 
 class VanillaPipeline(AggregationPipeline):
@@ -358,11 +425,23 @@ class VanillaPipeline(AggregationPipeline):
             gradients.append(votes[worker])
         return self.aggregator(stack_vectors(gradients))
 
-    def _aggregate_tensor(self, tensor: VoteTensor) -> np.ndarray:
+    def _aggregate_tensor(
+        self, tensor: VoteTensor, arrived: np.ndarray | None
+    ) -> np.ndarray:
         # r == 1: slot 0 holds each file's single worker return; slot_rows
         # avoids materializing a lazily replicated tensor.
-        return self.aggregator(tensor.slot_rows(0))
+        rows = self.post_vote_matrix(tensor, arrived)
+        if rows.shape[0] == 0:
+            # No worker beat the deadline: the round contributes no update.
+            return np.zeros(tensor.dim, dtype=tensor.dtype)
+        return self.aggregator(rows)
 
-    def post_vote_matrix(self, tensor: VoteTensor) -> np.ndarray:
-        # No vote stage: the aggregator sees the raw (K, d) worker returns.
-        return tensor.slot_rows(0)
+    def post_vote_matrix(
+        self, tensor: VoteTensor, arrived: np.ndarray | None = None
+    ) -> np.ndarray:
+        # No vote stage: the aggregator sees the raw (K, d) worker returns;
+        # partial mode keeps only the rows that actually arrived.
+        rows = tensor.slot_rows(0)
+        if arrived is None:
+            return rows
+        return rows[arrived[:, 0]]

@@ -27,6 +27,7 @@ from repro.scenarios.spec import (
     FaultSpec,
     ModelSpec,
     PipelineSpec,
+    RuntimeSpec,
     ScenarioSpec,
     ScheduleSpec,
     TrainingSpec,
@@ -41,6 +42,7 @@ __all__ = [
     "FaultSpec",
     "ModelSpec",
     "PipelineSpec",
+    "RuntimeSpec",
     "ScenarioSpec",
     "ScheduleSpec",
     "TrainingSpec",

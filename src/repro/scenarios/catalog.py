@@ -12,7 +12,10 @@ and a handful of training rounds.  Jointly the matrix covers
   compromised window;
 * **faults** — exponential/fixed stragglers (with and without timeouts),
   crash-stop churn, and message corruption (zero/scale/noise);
-* **compression** — top-k and sign uplink compression.
+* **compression** — top-k and sign uplink compression;
+* **runtimes** — the lockstep synchronous round (default) and the
+  event-driven engine with deadline cutoffs, per-file quorums and
+  partial (arrived-copies-only) aggregation.
 
 Names are stable identifiers: golden traces live at
 ``tests/golden/<name>.json`` and are regenerated with
@@ -297,6 +300,60 @@ def _catalog() -> dict[str, dict[str, Any]]:
             faults=[{"kind": "stragglers",
                      "params": {"count": 2, "delay_model": "fixed", "delay": 0.25}}],
             description="Unattacked mean baseline with 1-bit sign uplinks",
+        ),
+        # -- Event-driven async runtime (deadline / quorum) -----------------
+        _spec(
+            "mols-async-deadline-stragglers",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 3, "delay_model": "exponential", "delay": 0.5}}],
+            runtime={"deadline": 0.4},
+            description="Event-driven PS abandons straggler messages at a 0.4s deadline",
+        ),
+        _spec(
+            "mols-async-quorum",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 3, "delay_model": "exponential", "delay": 0.5}}],
+            runtime={"quorum": 2},
+            description="Files close at 2 of 3 arrived copies; straggler copies reject as late",
+        ),
+        _spec(
+            "ramanujan-async-quorum-partial",
+            _RAMANUJAN,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 3}},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 5, "delay_model": "exponential", "delay": 0.5}}],
+            runtime={"quorum": 3, "partial": True},
+            description="K=25 quorum-3 rounds voting only over the arrived copies",
+        ),
+        _spec(
+            "detox-async-deadline-quorum",
+            _FRC,
+            {"kind": "detox", "aggregator": "median_of_means",
+             "aggregator_params": {"num_groups": 3}},
+            attack={"name": "alie", "selection": "random",
+                    "schedule": {"kind": "static", "q": 2}},
+            faults=[{"kind": "dropout", "params": {"probability": 0.15, "down_for": 2}},
+                    {"kind": "stragglers",
+                     "params": {"count": 3, "delay_model": "exponential", "delay": 0.5}}],
+            runtime={"deadline": 0.45, "quorum": 2},
+            description="DETOX groups close at quorum 2 under churn, 0.45s deadline backstop",
+        ),
+        _spec(
+            "vanilla-async-deadline-partial",
+            _BASELINE,
+            {"kind": "vanilla", "aggregator": "median"},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 4, "delay_model": "exponential", "delay": 0.5}}],
+            runtime={"deadline": 0.4, "partial": True},
+            description="Baseline median over only the workers that beat the deadline",
         ),
     ]
     catalog: dict[str, dict[str, Any]] = {}

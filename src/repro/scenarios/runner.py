@@ -33,6 +33,7 @@ from repro.cluster.faults import (
     MessageCorruptionInjector,
     StragglerInjector,
 )
+from repro.cluster.events import AsyncRuntime
 from repro.cluster.simulator import TrainingCluster
 from repro.cluster.worker import WorkerPool
 from repro.compression.compressors import create_compressor
@@ -212,6 +213,17 @@ class ScenarioRunner:
                 ) from exc
         pool = WorkerPool(assignment, gradient_computer, compressor=compressor)
         attack, selector = self._build_adversary()
+        runtime = None
+        if spec.runtime.is_event:
+            runtime = AsyncRuntime(
+                deadline=(
+                    float("inf")
+                    if spec.runtime.deadline is None
+                    else spec.runtime.deadline
+                ),
+                quorum=spec.runtime.quorum,
+                partial=spec.runtime.partial,
+            )
         cluster = TrainingCluster(
             assignment=assignment,
             worker_pool=pool,
@@ -221,6 +233,7 @@ class ScenarioRunner:
             fault_injectors=tuple(
                 _build_fault_injector(f) for f in spec.faults
             ),
+            runtime=runtime,
         )
         config = TrainingConfig(
             batch_size=spec.training.batch_size,
@@ -265,7 +278,9 @@ class ScenarioRunner:
             # and pays nothing, and caching winners on the pipeline would
             # risk serving stale results to callers that mutate the tensor
             # between calls.
-            winners = trainer.pipeline.post_vote_matrix(tensor)
+            winners = trainer.pipeline.post_vote_matrix(
+                tensor, round_result.aggregation_mask
+            )
             trace.append(
                 RoundTrace(
                     iteration=iteration,

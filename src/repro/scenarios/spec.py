@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -35,6 +36,7 @@ __all__ = [
     "AttackSpec",
     "FaultSpec",
     "CompressionSpec",
+    "RuntimeSpec",
     "ScenarioSpec",
 ]
 
@@ -359,6 +361,79 @@ class CompressionSpec:
 
 
 @dataclass(frozen=True)
+class RuntimeSpec:
+    """How the PS collects a round's messages.
+
+    The default (no deadline, no quorum) is the lockstep synchronous round
+    every pre-existing scenario runs — it serializes to an empty dict and is
+    omitted from the canonical spec form, so adding this section changed no
+    existing spec digest.  Setting ``deadline`` and/or ``quorum`` switches
+    the run to the event-driven engine (:mod:`repro.cluster.events`).
+
+    Attributes
+    ----------
+    deadline:
+        Round deadline in simulated seconds, exclusive (an arrival at
+        exactly the deadline is late).  ``inf`` (serialized as the string
+        ``"inf"``) waits for every message that will ever arrive — the
+        sync-equivalent event mode.  ``None`` = synchronous unless a quorum
+        is set.
+    quorum:
+        Per-file close threshold: a file stops accepting copies once this
+        many arrived.  ``None`` waits for all ``r`` copies.
+    partial:
+        Vote each file over its accepted copies only instead of counting
+        missing slots as zero votes.  Requires an event-driven runtime.
+    """
+
+    deadline: float | None = None
+    quorum: int | None = None
+    partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and not self.deadline > 0.0:  # also NaN
+            raise ConfigurationError(
+                f"runtime deadline must be positive (or inf), got {self.deadline}"
+            )
+        if self.quorum is not None and self.quorum < 1:
+            raise ConfigurationError(
+                f"runtime quorum must be >= 1, got {self.quorum}"
+            )
+        if self.partial and not self.is_event:
+            raise ConfigurationError(
+                "partial aggregation requires an event-driven runtime "
+                "(set deadline and/or quorum)"
+            )
+
+    @property
+    def is_event(self) -> bool:
+        """True when the scenario runs on the event-driven engine."""
+        return self.deadline is not None or self.quorum is not None
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RuntimeSpec":
+        _check_keys("runtime", data, ("deadline", "quorum", "partial"))
+        deadline = data.get("deadline")
+        return cls(
+            # float("inf") round-trips the serialized "inf" string.
+            deadline=None if deadline is None else float(deadline),
+            quorum=None if data.get("quorum") is None else int(data["quorum"]),
+            partial=bool(data.get("partial", False)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.deadline is not None:
+            # Strict JSON has no Infinity literal; use a string sentinel.
+            out["deadline"] = "inf" if math.isinf(self.deadline) else self.deadline
+        if self.quorum is not None:
+            out["quorum"] = self.quorum
+        if self.partial:
+            out["partial"] = True
+        return out
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, reproducible description of one simulated training run."""
 
@@ -372,6 +447,7 @@ class ScenarioSpec:
     attack: AttackSpec | None = None
     faults: tuple[FaultSpec, ...] = ()
     compression: CompressionSpec | None = None
+    runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
     dtype: str = "float64"
     description: str = ""
 
@@ -401,6 +477,7 @@ class ScenarioSpec:
                 "attack",
                 "faults",
                 "compression",
+                "runtime",
                 "dtype",
                 "description",
             ),
@@ -422,6 +499,7 @@ class ScenarioSpec:
             compression=(
                 None if compression is None else CompressionSpec.from_dict(compression)
             ),
+            runtime=RuntimeSpec.from_dict(data.get("runtime", {})),
             dtype=str(data.get("dtype", "float64")),
             description=str(data.get("description", "")),
         )
@@ -451,6 +529,11 @@ class ScenarioSpec:
             out["faults"] = [f.to_dict() for f in self.faults]
         if self.compression is not None:
             out["compression"] = self.compression.to_dict()
+        runtime = self.runtime.to_dict()
+        if runtime:
+            # Synchronous scenarios serialize no runtime section, keeping
+            # every pre-existing spec digest (and its golden trace) intact.
+            out["runtime"] = runtime
         if self.dtype != "float64":
             # Emitted only when non-default so existing float64 spec digests
             # (and the golden traces pinned to them) are unchanged.

@@ -123,7 +123,9 @@ class DistributedTrainer:
         learning_rate = self.server.optimizer.schedule.rate(self.server.optimizer.iteration)
         if self.use_tensor_path:
             round_result = self.cluster.run_round_tensor(params, file_data, iteration)
-            aggregate = self.server.update_tensor(round_result.vote_tensor)
+            aggregate = self.server.update_tensor(
+                round_result.vote_tensor, round_result.aggregation_mask
+            )
         else:
             round_result = self.cluster.run_round(params, file_data, iteration)
             aggregate = self.server.update(round_result.file_votes)

@@ -11,6 +11,7 @@ from repro.scenarios import (
     AttackSpec,
     FaultSpec,
     PipelineSpec,
+    RuntimeSpec,
     ScenarioSpec,
     ScheduleSpec,
     get_scenario,
@@ -85,6 +86,54 @@ class TestRoundTrip:
         path.write_text("{not json")
         with pytest.raises(ConfigurationError, match="cannot load"):
             ScenarioSpec.from_json_file(path)
+
+
+class TestRuntimeSpec:
+    def test_default_is_synchronous_and_serializes_to_nothing(self):
+        runtime = RuntimeSpec()
+        assert not runtime.is_event
+        assert runtime.to_dict() == {}
+        # Synchronous specs carry no runtime section at all, so every spec
+        # digest recorded before the event engine existed is unchanged.
+        assert "runtime" not in get_scenario("mols-clean").to_dict()
+
+    def test_event_scenarios_round_trip(self):
+        spec = get_scenario("ramanujan-async-quorum-partial")
+        assert spec.runtime.is_event
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_infinite_deadline_serializes_as_string(self):
+        runtime = RuntimeSpec(deadline=float("inf"))
+        assert runtime.to_dict() == {"deadline": "inf"}
+        again = RuntimeSpec.from_dict(runtime.to_dict())
+        assert again.deadline == float("inf")
+        assert again == runtime
+
+    def test_from_dict_parses_fields(self):
+        runtime = RuntimeSpec.from_dict(
+            {"deadline": 0.4, "quorum": 2, "partial": True}
+        )
+        assert runtime == RuntimeSpec(deadline=0.4, quorum=2, partial=True)
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="runtime"):
+            RuntimeSpec.from_dict({"deadlnie": 0.4})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="deadline"):
+            RuntimeSpec(deadline=0.0)
+        with pytest.raises(ConfigurationError, match="quorum"):
+            RuntimeSpec(quorum=0)
+        with pytest.raises(ConfigurationError, match="partial"):
+            RuntimeSpec(partial=True)
+
+    def test_runtime_changes_the_spec_digest(self):
+        base = get_scenario("mols-clean")
+        data = base.to_dict()
+        data["runtime"] = {"quorum": 2}
+        assert ScenarioSpec.from_dict(data).digest() != base.digest()
 
 
 class TestDigest:

@@ -38,11 +38,13 @@ from repro.aggregation.krum import MultiKrumAggregator
 from repro.aggregation.majority import (
     _reference_exact_majority,
     majority_vote_tensor,
+    majority_vote_votetensor,
 )
 from repro.aggregation.median import CoordinateWiseMedian
 from repro.assignment.ramanujan import RamanujanAssignment
 from repro.cluster.events import AsyncRuntime, EventDrivenRound, base_arrival_times
 from repro.cluster.timing import CostModel
+from repro.cluster.topology import GroupTopology, hierarchical_majority_vote
 from repro.core.pipelines import ByzShieldPipeline
 from repro.core.vote_tensor import VoteTensor
 from repro.nn.models import build_cnn, build_mlp, build_resnet_lite
@@ -130,6 +132,45 @@ def event_round_kernels() -> dict:
         "event_round_inf_deadline_f25_r5_d11k": lambda: event_round(AsyncRuntime()),
         "event_round_quorum3_f25_r5_d11k": lambda: event_round(
             AsyncRuntime(deadline=0.5, quorum=3)
+        ),
+    }
+
+
+def hierarchical_vote_kernels() -> dict:
+    """Flat vs hierarchical (and monolithic vs blockwise) exact vote at large r.
+
+    The large-replication regime the two-level path targets: f=16 files, r=64
+    copies each (every one of K=64 workers holds every file, FRC-style, so
+    all files share one group signature), d=20k coordinates, with a colluding
+    payload in 12 of the corrupted files' copies.  All four kernels produce
+    bit-identical (winners, counts); they differ in wall-clock and peak
+    memory — the hierarchical kernels label 8 workers per group at a time and
+    the blockwise variants stream 4096-coordinate blocks, so the O(f.r.d)
+    comparison temporary of the flat monolithic kernel never materializes.
+    """
+    f, r, dim = 16, 64, 20_000
+    rng = np.random.default_rng(7)
+    honest = rng.standard_normal((f, dim))
+    values = np.repeat(honest[:, None, :], r, axis=1)
+    payload = rng.standard_normal(dim)
+    for i in (0, 5, 10):
+        values[i, :12] = payload
+    workers = np.broadcast_to(np.arange(r, dtype=np.int64), (f, r)).copy()
+    tensor = VoteTensor(values, workers)
+    topology = GroupTopology(r, 8)
+
+    return {
+        "blockwise_vote_flat_mono_f16_r64_d20k": lambda: majority_vote_votetensor(
+            tensor, 0.0
+        ),
+        "blockwise_vote_flat_bs4k_f16_r64_d20k": lambda: majority_vote_votetensor(
+            tensor, 0.0, block_size=4096
+        ),
+        "hier_group_vote_mono_g8_f16_r64_d20k": lambda: hierarchical_majority_vote(
+            tensor, topology
+        ),
+        "hier_group_vote_bs4k_g8_f16_r64_d20k": lambda: hierarchical_majority_vote(
+            tensor, topology, block_size=4096
         ),
     }
 
@@ -225,6 +266,7 @@ def build_kernels() -> dict:
     }
     kernels.update(replication_round_kernels())
     kernels.update(event_round_kernels())
+    kernels.update(hierarchical_vote_kernels())
     kernels.update(gradient_engine_kernels())
     return kernels
 
@@ -293,6 +335,9 @@ def report_speedups(results: dict) -> None:
         f"copy-on-write replication speedup vs materialized (float32): "
         f"{dense32 / cow32:.2f}x"
     )
+    flat = results["blockwise_vote_flat_mono_f16_r64_d20k"]["min_s"]
+    hier = results["hier_group_vote_bs4k_g8_f16_r64_d20k"]["min_s"]
+    print(f"hierarchical blockwise vote speedup vs flat monolithic (r=64): {flat / hier:.2f}x")
     for model_key, num_files in GRADIENT_SWEEP:
         stacked = results[f"gradient_engine_stacked_{model_key}_f{num_files}"]["min_s"]
         looped = results[f"gradient_engine_looped_{model_key}_f{num_files}"]["min_s"]

@@ -16,7 +16,9 @@ import numpy as np
 
 from repro.aggregation.base import Aggregator
 from repro.aggregation.krum import krum_scores
+from repro.aggregation.majority import validate_block_size
 from repro.exceptions import AggregationError
+from repro.utils.arrays import block_ranges
 
 __all__ = ["BulyanAggregator"]
 
@@ -29,16 +31,27 @@ class BulyanAggregator(Aggregator):
     num_byzantine:
         Assumed number of Byzantine votes ``q``; the rule requires
         ``n >= 4q + 3`` candidates.
+    block_size:
+        ``None`` (default) runs the monolithic trimming pass, whose
+        deviation/argsort temporaries cost ~3 full ``(theta, d)`` matrices
+        (one of them int64).  A positive width streams them in
+        O(theta · block) coordinate blocks; the kept values are assembled
+        into the same contiguous ``(beta, d)`` operand the monolithic path
+        averages, so the aggregate is bit-identical by construction (median,
+        deviation, argsort and take are all per-coordinate).  The Krum
+        selection stage accumulates its distances per block, which can only
+        shift a distance by an ulp and never the ranking-based selection.
     """
 
     aggregator_name = "bulyan"
 
-    def __init__(self, num_byzantine: int) -> None:
+    def __init__(self, num_byzantine: int, block_size: int | None = None) -> None:
         if num_byzantine < 0:
             raise AggregationError(
                 f"num_byzantine must be non-negative, got {num_byzantine}"
             )
         self.num_byzantine = int(num_byzantine)
+        self.block_size = validate_block_size(block_size)
 
     def minimum_votes(self, num_byzantine: int | None = None) -> int:
         q = self.num_byzantine if num_byzantine is None else num_byzantine
@@ -60,15 +73,24 @@ class BulyanAggregator(Aggregator):
             # fewer than 2q+3 remain, so the effective q' is clamped (standard
             # practice in Bulyan implementations).
             effective_q = min(q, max((len(remaining) - 3) // 2, 0))
-            scores = krum_scores(sub, effective_q)
+            scores = krum_scores(sub, effective_q, block_size=self.block_size)
             winner_local = int(np.argmin(scores))
             winner = remaining.pop(winner_local)
             selected.append(winner)
         sel = matrix[selected]
         beta = theta - 2 * q
         # For each coordinate keep the beta values closest to the median.
-        median = np.median(sel, axis=0)
-        deviation = np.abs(sel - median)
-        order = np.argsort(deviation, axis=0)[:beta]
-        closest = np.take_along_axis(sel, order, axis=0)
+        if self.block_size is None or self.block_size >= d:
+            median = np.median(sel, axis=0)
+            deviation = np.abs(sel - median)
+            order = np.argsort(deviation, axis=0)[:beta]
+            closest = np.take_along_axis(sel, order, axis=0)
+        else:
+            closest = np.empty((beta, d), dtype=sel.dtype)
+            for lo, hi in block_ranges(d, self.block_size):
+                sel_b = sel[:, lo:hi]
+                median = np.median(sel_b, axis=0)
+                deviation = np.abs(sel_b - median)
+                order = np.argsort(deviation, axis=0)[:beta]
+                closest[:, lo:hi] = np.take_along_axis(sel_b, order, axis=0)
         return closest.mean(axis=0)

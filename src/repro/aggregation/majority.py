@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.core.backend import bit_view_dtype, ensure_float
 from repro.exceptions import AggregationError
-from repro.utils.arrays import stack_vectors
+from repro.utils.arrays import block_ranges, stack_vectors
 
 __all__ = [
     "majority_vote",
@@ -41,6 +41,7 @@ __all__ = [
     "majority_vote_votetensor",
     "MajorityVote",
     "validate_tolerance",
+    "validate_block_size",
 ]
 
 
@@ -49,6 +50,22 @@ def validate_tolerance(tolerance: float) -> float:
     if tolerance < 0:
         raise AggregationError(f"tolerance must be non-negative, got {tolerance}")
     return float(tolerance)
+
+
+def validate_block_size(block_size: int | None) -> int | None:
+    """Single validation point for the coordinate-block width (all kernels)."""
+    if block_size is None:
+        return None
+    block_size = int(block_size)
+    if block_size <= 0:
+        raise AggregationError(
+            f"block_size must be a positive integer or None, got {block_size}"
+        )
+    return block_size
+
+
+#: streaming loop helper shared with the robust aggregators
+_block_ranges = block_ranges
 
 
 # --------------------------------------------------------------------------- #
@@ -107,7 +124,45 @@ def _hash_weights(d: int) -> np.ndarray:
     return weights
 
 
-def _bit_label_matrix(values: np.ndarray) -> np.ndarray:
+def _accumulate_hashes(gather_block, count: int, d: int, block_size: int | None) -> np.ndarray:
+    """64-bit positional hashes of ``count`` rows, optionally streamed.
+
+    ``gather_block(lo, hi)`` must return the ``(count, hi - lo)`` unsigned
+    bit view of the rows' coordinate block.  Because the hash is a sum of
+    per-coordinate products modulo 2**64 (uint64 wraparound), accumulating
+    per-block partial sums is *exactly* — not just approximately — equal to
+    the monolithic einsum, so blockwise mode stays bit-identical.
+    """
+    weights = _hash_weights(d)
+    if block_size is None or block_size >= d:
+        bits = gather_block(0, d)
+        hashed = bits if bits.dtype == np.uint64 else bits.astype(np.uint64)
+        return np.einsum("md,d->m", hashed, weights)
+    hashes = np.zeros(count, dtype=np.uint64)
+    for lo, hi in _block_ranges(d, block_size):
+        bits = gather_block(lo, hi)
+        hashed = bits if bits.dtype == np.uint64 else bits.astype(np.uint64)
+        hashes += np.einsum("mb,b->m", hashed, weights[lo:hi])
+    return hashes
+
+
+def _rows_equal(gather_a, gather_b, count: int, d: int, block_size: int | None) -> np.ndarray:
+    """``(count,)`` bool: rows bitwise equal, AND-accumulated per block.
+
+    ``gather_a`` / ``gather_b`` return the two sides' ``(count, hi - lo)``
+    bit blocks; with ``block_size`` set the peak temporary is O(count · block).
+    """
+    if block_size is None or block_size >= d:
+        return (gather_a(0, d) == gather_b(0, d)).all(axis=1)
+    equal = np.ones(count, dtype=bool)
+    for lo, hi in _block_ranges(d, block_size):
+        if not equal.any():
+            break
+        equal &= (gather_a(lo, hi) == gather_b(lo, hi)).all(axis=1)
+    return equal
+
+
+def _bit_label_matrix(values: np.ndarray, block_size: int | None = None) -> np.ndarray:
     """Label each (file, slot) by bit-exact content: ``labels[i, k]`` is the
     smallest slot index of file ``i`` holding the same bytes as slot ``k``.
 
@@ -120,18 +175,32 @@ def _bit_label_matrix(values: np.ndarray) -> np.ndarray:
     group member verified against the group's first slot — a hash collision
     therefore never corrupts the labels, it only demotes the affected files
     to a per-file fallback.
+
+    With ``block_size`` set, the anchor sweep, the hashes and the group
+    verification all stream coordinate blocks of width ``block_size``
+    through fixed-size workspaces, so the peak temporary is O(f · r · block)
+    instead of O(f · r · d) — and every stage is bit-identical to the
+    monolithic pass (boolean AND and uint64 sums are order-independent).
     """
     f, r, d = values.shape
     bits = np.ascontiguousarray(values).view(bit_view_dtype(values.dtype))
     labels = np.zeros((f, r), dtype=np.int64)
-    eq0 = (bits[:, 1:, :] == bits[:, :1, :]).all(axis=2)  # (f, r-1)
+    if block_size is None or block_size >= d:
+        eq0 = (bits[:, 1:, :] == bits[:, :1, :]).all(axis=2)  # (f, r-1)
+    else:
+        eq0 = np.ones((f, r - 1), dtype=bool)
+        for lo, hi in _block_ranges(d, block_size):
+            eq0 &= (bits[:, 1:, lo:hi] == bits[:, :1, lo:hi]).all(axis=2)
     mism_file, mism_slot = np.nonzero(~eq0)
     if mism_file.size == 0:  # honest round: everything matches its anchor
         return labels
     mism_slot = mism_slot + 1  # eq0 starts at slot 1
-    sub = bits[mism_file, mism_slot]  # (M, d) gather of the attacked slots
-    hashed = sub if sub.dtype == np.uint64 else sub.astype(np.uint64)
-    hashes = np.einsum("md,d->m", hashed, _hash_weights(d))  # wraps mod 2**64
+    hashes = _accumulate_hashes(
+        lambda lo, hi: bits[mism_file, mism_slot, lo:hi],
+        mism_file.size,
+        d,
+        block_size,
+    )
     order = np.lexsort((hashes, mism_file))  # stable: slot-ascending in ties
     sf, sh, ss = mism_file[order], hashes[order], mism_slot[order]
     starts = np.empty(order.size, dtype=bool)
@@ -143,7 +212,15 @@ def _bit_label_matrix(values: np.ndarray) -> np.ndarray:
     verified = np.ones(order.size, dtype=bool)
     if member.any():
         anchor = order[first_of_group][group]  # M-index of each slot's anchor
-        verified[member] = (sub[order[member]] == sub[anchor[member]]).all(axis=1)
+        mem_file, mem_slot = sf[member], ss[member]
+        anc_file, anc_slot = mism_file[anchor[member]], mism_slot[anchor[member]]
+        verified[member] = _rows_equal(
+            lambda lo, hi: bits[mem_file, mem_slot, lo:hi],
+            lambda lo, hi: bits[anc_file, anc_slot, lo:hi],
+            mem_file.size,
+            d,
+            block_size,
+        )
     labels[sf, ss] = ss[first_of_group][group]  # anchor slot of each group
     if not verified.all():
         # 64-bit hash collision (adversarially crafted payloads): label the
@@ -172,14 +249,16 @@ def _winners_from_slots(
     return winners
 
 
-def _exact_majority_tensor(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _exact_majority_tensor(
+    values: np.ndarray, block_size: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Exact-equality winners of every file: ``(f, d)`` winners, ``(f,)`` counts."""
     f, r, d = values.shape
     if r == 1:
         return values[:, 0, :].copy(), np.ones(f, dtype=np.int64)
     if d == 0:
         return np.zeros((f, 0), dtype=values.dtype), np.full(f, r, dtype=np.int64)
-    labels = _bit_label_matrix(values)
+    labels = _bit_label_matrix(values, block_size=block_size)
     sizes = _class_sizes(labels)
     # Lexicographic (count desc, anchor-slot asc): counts differ by >= 1
     # which outweighs any slot difference (< r); empty classes score <= 0
@@ -191,7 +270,7 @@ def _exact_majority_tensor(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _clustered_majority_tensor(
-    values: np.ndarray, tolerance: float
+    values: np.ndarray, tolerance: float, block_size: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Greedy leader clustering of every file at once.
 
@@ -206,7 +285,7 @@ def _clustered_majority_tensor(
     member slots in slot order, bit-identical to the reference.
     """
     f, r, _ = values.shape
-    labels = _bit_label_matrix(values)
+    labels = _bit_label_matrix(values, block_size=block_size)
     sizes = _class_sizes(labels)
     is_anchor = labels == np.arange(r)[None, :]  # class representatives
     # cluster_of[i, s]: cluster id (= leader's anchor slot) of the class
@@ -266,7 +345,7 @@ def _clustered_majority_tensor(
 
 
 def majority_vote_tensor(
-    values: np.ndarray, tolerance: float = 0.0
+    values: np.ndarray, tolerance: float = 0.0, block_size: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Majority-vote every file of a round in one vectorized pass.
 
@@ -278,6 +357,12 @@ def majority_vote_tensor(
         Zero (default) selects exact byte-equality voting; a positive value
         groups votes within Euclidean distance ``tolerance`` of a cluster
         leader and returns the mean of each file's winning cluster.
+    block_size:
+        ``None`` (default) runs the monolithic kernel.  A positive width
+        streams the bit-equality labeling in coordinate blocks, capping the
+        peak temporary at O(f · r · block) instead of O(f · r · d) while
+        staying bit-identical; tolerance voting streams only the labeling
+        (its cluster means are full-width reductions by definition).
 
     Returns
     -------
@@ -293,13 +378,14 @@ def majority_vote_tensor(
     if values.shape[1] == 0:
         raise AggregationError("majority vote needs at least one vote")
     tolerance = validate_tolerance(tolerance)
+    block_size = validate_block_size(block_size)
     if tolerance == 0.0:
-        return _exact_majority_tensor(values)
-    return _clustered_majority_tensor(values, tolerance)
+        return _exact_majority_tensor(values, block_size=block_size)
+    return _clustered_majority_tensor(values, tolerance, block_size=block_size)
 
 
 def majority_vote_votetensor(
-    tensor, tolerance: float = 0.0
+    tensor, tolerance: float = 0.0, block_size: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Majority-vote a round straight from a :class:`VoteTensor`.
 
@@ -318,10 +404,19 @@ def majority_vote_votetensor(
     Tolerance-based voting averages each winning cluster, whose floating-
     point reduction depends on the full slot layout; lazy tensors densify
     first in that mode to stay bit-identical with the dense kernel.
+
+    ``block_size`` streams the base comparison, the override hashes and the
+    group verification in coordinate blocks (via the tensor's block views),
+    capping the peak temporary at O(M · block) for ``M`` overridden slots —
+    bit-identical to the monolithic pass for the same reason as the dense
+    kernel.
     """
     tolerance = validate_tolerance(tolerance)
+    block_size = validate_block_size(block_size)
     if not getattr(tensor, "is_lazy", False) or tolerance != 0.0:
-        return majority_vote_tensor(tensor.values, tolerance=tolerance)
+        return majority_vote_tensor(
+            tensor.values, tolerance=tolerance, block_size=block_size
+        )
     f, r, d = tensor.shape
     if r == 0:
         raise AggregationError("majority vote needs at least one vote")
@@ -331,11 +426,18 @@ def majority_vote_votetensor(
     o_files, o_slots = tensor.overridden_slots()
     if o_files.size == 0:
         return winners, counts
-    rows = tensor.read_slots(o_files, o_slots)  # (M, d) override payloads
-    view = bit_view_dtype(rows.dtype)
-    eq_base = (
-        rows.view(view) == np.ascontiguousarray(base[o_files]).view(view)
-    ).all(axis=1)
+    view = bit_view_dtype(tensor.dtype)
+
+    def _slots_bits(files, slots):
+        return lambda lo, hi: tensor.read_slots_block(files, slots, lo, hi).view(view)
+
+    eq_base = _rows_equal(
+        _slots_bits(o_files, o_slots),
+        lambda lo, hi: np.ascontiguousarray(tensor.base_block(lo, hi)[o_files]).view(view),
+        o_files.size,
+        d,
+        block_size,
+    )
 
     touched = tensor.touched_files()
     t = touched.size
@@ -347,10 +449,8 @@ def majority_vote_votetensor(
     cid = np.zeros((t, r), dtype=np.int64)
     ne = np.nonzero(~eq_base)[0]
     if ne.size:
-        sub, sf, ss = rows[ne], o_files[ne], o_slots[ne]
-        bits = sub.view(view)
-        hashed = bits if bits.dtype == np.uint64 else bits.astype(np.uint64)
-        hashes = np.einsum("md,d->m", hashed, _hash_weights(d))
+        sf, ss = o_files[ne], o_slots[ne]
+        hashes = _accumulate_hashes(_slots_bits(sf, ss), ne.size, d, block_size)
         # stable sort by (file, hash); ties keep the row-major (file, slot)
         # input order, so each group's first member is its smallest slot —
         # the dense kernel's anchor.
@@ -365,9 +465,13 @@ def majority_vote_votetensor(
         verified = np.ones(order.size, dtype=bool)
         if member.any():
             anchor = order[first_of_group][group]
-            verified[member] = (
-                bits[order[member]] == bits[anchor[member]]
-            ).all(axis=1)
+            verified[member] = _rows_equal(
+                _slots_bits(sf[order[member]], ss[order[member]]),
+                _slots_bits(sf[anchor[member]], ss[anchor[member]]),
+                int(member.sum()),
+                d,
+                block_size,
+            )
         cid[file_pos[of], ss[order]] = 1 + group
         if not verified.all():
             # 64-bit hash collision: relabel the affected files' overrides
@@ -375,7 +479,7 @@ def majority_vote_votetensor(
             for i in np.unique(of[~verified]):
                 seen: dict[bytes, int] = {}
                 for j in np.nonzero(sf == i)[0]:
-                    key = sub[j].tobytes()
+                    key = tensor.read_slots(sf[j : j + 1], ss[j : j + 1])[0].tobytes()
                     cid[file_pos[i], ss[j]] = seen.setdefault(key, group.size + j + 1)
     # labels[i, k]: smallest slot of the file holding slot k's content —
     # identical to the dense kernel's _bit_label_matrix on these files.

@@ -339,7 +339,7 @@ def _run_scenario_cmd(args: argparse.Namespace) -> str:
         lines = ["Golden scenario matrix:"]
         for name in scenario_names():
             spec = get_scenario(name)
-            runtime = ""
+            notes = []
             if spec.runtime.is_event:
                 parts = []
                 if spec.runtime.deadline is not None:
@@ -348,8 +348,16 @@ def _run_scenario_cmd(args: argparse.Namespace) -> str:
                     parts.append(f"quorum={spec.runtime.quorum}")
                 if spec.runtime.partial:
                     parts.append("partial")
-                runtime = f" [async: {', '.join(parts)}]"
-            lines.append(f"  {name}: {spec.description}{runtime}")
+                notes.append(f"async: {', '.join(parts)}")
+            if spec.topology is not None:
+                parts = [f"groups={spec.topology.groups}"]
+                if spec.topology.q_group:
+                    parts.append(f"q_group={spec.topology.q_group}")
+                if spec.topology.q_root:
+                    parts.append(f"q_root={spec.topology.q_root}")
+                notes.append(f"topology: {', '.join(parts)}")
+            suffix = f" [{'; '.join(notes)}]" if notes else ""
+            lines.append(f"  {name}: {spec.description}{suffix}")
         lines.append("")
         lines.append("Run one with: repro scenario run <name | spec.json>")
         return "\n".join(lines)

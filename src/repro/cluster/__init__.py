@@ -13,6 +13,7 @@ from repro.cluster.worker import WorkerPool
 from repro.cluster.server import ParameterServer
 from repro.cluster.simulator import TrainingCluster
 from repro.cluster.timing import CostModel, IterationTiming, estimate_iteration_timing
+from repro.cluster.topology import GroupTopology, hierarchical_majority_vote
 
 __all__ = [
     "GradientMessage",
@@ -24,4 +25,6 @@ __all__ = [
     "CostModel",
     "IterationTiming",
     "estimate_iteration_timing",
+    "GroupTopology",
+    "hierarchical_majority_vote",
 ]

@@ -127,6 +127,11 @@ class AsyncRoundOutcome:
     late_events:
         ``"late"`` :class:`FaultEvent`\\ s for sent-but-rejected messages, in
         rejection (time) order.
+    group_close_times:
+        ``(f, G)`` time each (file, group) quorum cell closed, for
+        hierarchical rounds collected over a group topology (``inf`` for
+        cells that never closed, and for cells the topology assigns no slots
+        of that file).  ``None`` on flat rounds.
     """
 
     arrivals: np.ndarray
@@ -135,6 +140,7 @@ class AsyncRoundOutcome:
     file_close_times: np.ndarray
     deadline_fired: bool
     late_events: tuple[FaultEvent, ...]
+    group_close_times: np.ndarray | None = None
 
     @property
     def num_accepted(self) -> int:
@@ -217,7 +223,9 @@ class EventDrivenRound:
     def __init__(self, runtime: AsyncRuntime) -> None:
         self.runtime = runtime
 
-    def collect(self, tensor: VoteTensor, arrivals: np.ndarray) -> AsyncRoundOutcome:
+    def collect(
+        self, tensor: VoteTensor, arrivals: np.ndarray, topology=None
+    ) -> AsyncRoundOutcome:
         """Run the event loop over one round's arrival schedule.
 
         Processes arrivals in time order (ties broken by (file, slot) for
@@ -227,6 +235,18 @@ class EventDrivenRound:
         timeout uses — and recorded as ``"late"`` fault events.  Never-sent
         slots (``inf`` arrivals) are left alone: the injector pass that
         produced them already zeroed (and possibly further perturbed) them.
+
+        With a :class:`~repro.cluster.topology.GroupTopology`, the quorum is
+        tracked per *(file, group)* cell instead of per file: each group's
+        aggregator closes its share of a file independently once
+        ``min(quorum, local copies)`` arrived (clamped, since a group may
+        hold fewer than ``quorum`` of a file's replicas), and the file is
+        closed when all of its non-empty cells are — the group leaders have
+        forwarded their histograms to the root.  Late messages are rejected
+        at the group level: a copy bound for an already-closed group is late
+        even while other groups of the same file remain open.  Without a
+        quorum configured every cell waits for all of its copies, which is
+        exactly the flat behavior.
         """
         arrivals = np.asarray(arrivals, dtype=np.float64)
         if arrivals.shape != tensor.workers.shape:
@@ -242,6 +262,27 @@ class EventDrivenRound:
             )
         deadline = self.runtime.deadline
 
+        # Cell layout: flat rounds have one cell per file needing `quorum`
+        # copies; hierarchical rounds have one cell per (file, group) needing
+        # min(quorum, local copies).  The loop below only sees cells.
+        if topology is None:
+            num_groups = 1
+            cell_of = np.broadcast_to(
+                np.arange(f, dtype=np.int64)[:, None], (f, r)
+            )
+            cell_quorum = np.full(f, quorum, dtype=np.int64)
+        else:
+            num_groups = topology.num_groups
+            slot_groups = topology.slot_groups(tensor.workers)
+            cell_of = np.arange(f, dtype=np.int64)[:, None] * num_groups + slot_groups
+            cell_slots = np.bincount(cell_of.ravel(), minlength=f * num_groups)
+            cell_quorum = np.minimum(quorum, cell_slots)
+        open_cells = np.bincount(
+            np.unique(cell_of), minlength=cell_quorum.size
+        ).astype(bool)
+        cells_left = np.full(f, 0, dtype=np.int64)
+        np.add.at(cells_left, np.unique(cell_of) // num_groups, 1)
+
         # Deterministic heap: (time, seq) with seq in (file, slot) row-major
         # order so simultaneous arrivals process in a reproducible order.
         heap: list[tuple[float, int, int, int]] = [
@@ -252,28 +293,33 @@ class EventDrivenRound:
         ]
         heapq.heapify(heap)
 
-        counts = np.zeros(f, dtype=np.int64)
+        counts = np.zeros(cell_quorum.size, dtype=np.int64)
         accepted = np.zeros((f, r), dtype=bool)
         close_times = np.full(f, np.inf, dtype=np.float64)
+        cell_close_times = np.full(cell_quorum.size, np.inf, dtype=np.float64)
         late: list[FaultEvent] = []
         last_accept = 0.0
         deadline_cut = False
         while heap:
             time, _, i, k = heapq.heappop(heap)
+            cell = int(cell_of[i, k])
             if time >= deadline:
                 deadline_cut = True
                 late.append(self._late_event(tensor, i, k, time))
                 continue
-            if counts[i] >= quorum:
+            if counts[cell] >= cell_quorum[cell]:
                 late.append(self._late_event(tensor, i, k, time))
                 continue
             accepted[i, k] = True
-            counts[i] += 1
+            counts[cell] += 1
             last_accept = time
-            if counts[i] == quorum:
-                close_times[i] = time
+            if counts[cell] == cell_quorum[cell]:
+                cell_close_times[cell] = time
+                cells_left[i] -= 1
+                if cells_left[i] == 0:
+                    close_times[i] = time
 
-        all_closed = bool((counts >= quorum).all())
+        all_closed = bool((counts >= cell_quorum)[open_cells].all())
         if all_closed:
             round_time = float(close_times.max())
         elif np.isfinite(deadline):
@@ -301,6 +347,9 @@ class EventDrivenRound:
             file_close_times=close_times,
             deadline_fired=deadline_fired,
             late_events=tuple(late),
+            group_close_times=(
+                None if topology is None else cell_close_times.reshape(f, num_groups)
+            ),
         )
 
     @staticmethod

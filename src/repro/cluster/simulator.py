@@ -68,6 +68,15 @@ class TrainingCluster:
         until the deadline or a per-file quorum fires.  With
         ``deadline=inf`` and no quorum the produced votes are bit-identical
         to the synchronous path.
+    topology:
+        Optional :class:`~repro.cluster.topology.GroupTopology` for
+        hierarchical rounds.  Under the event-driven runtime the quorum then
+        closes per (file, group) cell — each group's aggregator stops
+        accepting its share of a file independently and rejects later copies
+        as group-level ``"late"`` events (see
+        :meth:`EventDrivenRound.collect`).  Synchronous rounds are unaffected
+        (the topology only shapes the PS-side aggregation, which the
+        pipeline owns).
     """
 
     def __init__(
@@ -79,6 +88,7 @@ class TrainingCluster:
         seed: int | np.random.Generator | None = 0,
         fault_injectors: Sequence[FaultInjector] = (),
         runtime: AsyncRuntime | None = None,
+        topology=None,
     ) -> None:
         if worker_pool.assignment is not assignment and worker_pool.assignment != assignment:
             raise TrainingError("worker pool and cluster use different assignments")
@@ -95,7 +105,13 @@ class TrainingCluster:
                 f"runtime quorum {runtime.quorum} exceeds the assignment's "
                 f"replication r={assignment.replication}: no file could close"
             )
+        if topology is not None and topology.num_workers != assignment.num_workers:
+            raise TrainingError(
+                f"topology spans {topology.num_workers} workers but the "
+                f"assignment has {assignment.num_workers}"
+            )
         self.runtime = runtime
+        self.topology = topology
         self.assignment = assignment
         self.worker_pool = worker_pool
         self.attack = attack
@@ -300,7 +316,9 @@ class TrainingCluster:
         arrivals = perturbed_arrival_times(
             base, tensor.workers, extra_delay, never_arrives
         )
-        outcome = EventDrivenRound(runtime).collect(tensor, arrivals)
+        outcome = EventDrivenRound(runtime).collect(
+            tensor, arrivals, topology=self.topology
+        )
         return TensorRoundResult(
             vote_tensor=tensor,
             honest_matrix=honest_matrix,

@@ -1,0 +1,459 @@
+"""Hierarchical two-level aggregation: worker groups + a root merge.
+
+Flat majority voting makes the parameter server touch every one of the
+``f x r`` replica payloads in a single kernel invocation.  At large
+replication this is both a wall-clock and a peak-memory problem: the flat
+dense kernel materializes an ``O(f . r . d)`` comparison temporary, and a
+single aggregator must hold the whole round.  A *group topology* splits the
+``K`` workers into ``G`` groups, votes each group's sub-round locally
+(level 1), and forwards only each group's tiny per-file class histogram —
+``(anchor slot, count)`` pairs, typically one per file — to a root
+aggregator (level 2) that merges histograms by payload content and picks the
+global winner.
+
+Bit-identity with the flat path
+-------------------------------
+
+The exact-equality vote has a crucial compositional property: the global
+bit-equality classes of a file's ``r`` replicas are the disjoint union of
+each group's local classes, so merging local histograms by *content* (not by
+local winner — a group's runner-up may be the global winner) recovers the
+exact global class sizes, and a class's smallest global slot is always one
+of its local anchors.  The root therefore resolves the same winner, count
+and tie-break (largest class, then smallest slot) as the flat kernel —
+:func:`hierarchical_majority_vote` is property-tested bit-identical against
+:func:`~repro.aggregation.majority.majority_vote_votetensor` and is *not* an
+approximation.
+
+Forwarding full histograms instead of single local winners matters: with
+payloads ``A, B, B`` split as groups ``{A, B} | {B}``, winner-only
+forwarding would lose one ``B`` vote and flip the aggregate.
+
+Per-level adversary budgets
+---------------------------
+
+:class:`GroupTopology` carries two tolerated-adversary budgets: ``q_group``
+(per group) and ``q_root`` (among the group leaders).  Because the
+hierarchical vote is bit-identical to the flat vote, robustness *composes*:
+any placement of ``q_total = q_group * num_groups`` adversaries that
+respects the per-group budget yields the same aggregate as the flat path,
+and recovers the honest gradient whenever the flat majority bound holds —
+the property test in ``tests/test_topology.py`` exercises exactly this.
+
+Memory
+------
+
+Level 1 runs the existing labeling kernel per group on lazy slot-subset
+views (copy-on-write — no replica cube is densified) or on dense column
+bands, and both levels stream coordinate blocks when ``block_size`` is set,
+so the peak temporary is ``O(f . r_g . block)`` for a group's local
+replication ``r_g ~ r / G`` instead of the flat kernel's ``O(f . r . d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.majority import (
+    _accumulate_hashes,
+    _bit_label_matrix,
+    _class_sizes,
+    _reference_exact_majority,
+    _rows_equal,
+    majority_vote_votetensor,
+    validate_block_size,
+)
+from repro.core.backend import bit_view_dtype
+from repro.exceptions import AggregationError, ConfigurationError
+
+__all__ = ["GroupTopology", "hierarchical_majority_vote"]
+
+
+class GroupTopology:
+    """Contiguous balanced partition of the workers into voting groups.
+
+    Parameters
+    ----------
+    num_workers:
+        Cluster size ``K``.
+    num_groups:
+        Number of groups ``G`` (``1 <= G <= K``).  Workers are split into
+        contiguous, balanced groups (sizes differ by at most one), matching
+        the rack/zone locality a real deployment would exploit.
+    q_group:
+        Tolerated adversaries *per group* (level-1 budget).
+    q_root:
+        Tolerated adversarial group leaders at the root (level-2 budget).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        num_groups: int,
+        q_group: int = 0,
+        q_root: int = 0,
+    ) -> None:
+        num_workers = int(num_workers)
+        num_groups = int(num_groups)
+        if num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        if not 1 <= num_groups <= num_workers:
+            raise ConfigurationError(
+                f"num_groups must be in [1, {num_workers}], got {num_groups}"
+            )
+        if q_group < 0 or q_root < 0:
+            raise ConfigurationError(
+                f"adversary budgets must be non-negative, got "
+                f"q_group={q_group}, q_root={q_root}"
+            )
+        self.num_workers = num_workers
+        self.num_groups = num_groups
+        self.q_group = int(q_group)
+        self.q_root = int(q_root)
+        members = np.array_split(np.arange(num_workers, dtype=np.int64), num_groups)
+        self._members = tuple(np.ascontiguousarray(m) for m in members)
+        self.group_of = np.empty(num_workers, dtype=np.int64)
+        for g, workers in enumerate(self._members):
+            self.group_of[workers] = g
+
+    @property
+    def q_total(self) -> int:
+        """Total tolerated adversaries across all groups."""
+        return self.q_group * self.num_groups
+
+    def workers_of_group(self, group: int) -> np.ndarray:
+        """The (sorted, contiguous) worker indices of one group."""
+        if not 0 <= group < self.num_groups:
+            raise ConfigurationError(
+                f"group must be in [0, {self.num_groups}), got {group}"
+            )
+        return self._members[group].copy()
+
+    def slot_groups(self, workers: np.ndarray) -> np.ndarray:
+        """Group id of every slot of an ``(f, r)`` worker-slot matrix."""
+        workers = np.asarray(workers)
+        if workers.size and (
+            workers.min() < 0 or workers.max() >= self.num_workers
+        ):
+            raise ConfigurationError(
+                f"worker indices out of range for a {self.num_workers}-worker "
+                "topology"
+            )
+        return self.group_of[workers]
+
+    def group_counts(self, byzantine_workers) -> np.ndarray:
+        """``(G,)`` adversary count per group for a worker set."""
+        workers = np.asarray(sorted(set(int(w) for w in byzantine_workers)), dtype=np.int64)
+        if workers.size and (workers.min() < 0 or workers.max() >= self.num_workers):
+            raise ConfigurationError(
+                f"byzantine worker out of range for a {self.num_workers}-worker topology"
+            )
+        return np.bincount(self.group_of[workers], minlength=self.num_groups)
+
+    def admits(self, byzantine_workers) -> bool:
+        """True when every group's adversary count is within ``q_group``."""
+        return bool((self.group_counts(byzantine_workers) <= self.q_group).all())
+
+    def describe(self) -> dict[str, int]:
+        """Short description used in experiment reports."""
+        return {
+            "num_workers": self.num_workers,
+            "num_groups": self.num_groups,
+            "q_group": self.q_group,
+            "q_root": self.q_root,
+            "q_total": self.q_total,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GroupTopology):
+            return NotImplemented
+        return (
+            self.num_workers == other.num_workers
+            and self.num_groups == other.num_groups
+            and self.q_group == other.q_group
+            and self.q_root == other.q_root
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_workers, self.num_groups, self.q_group, self.q_root))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"GroupTopology(num_workers={self.num_workers}, "
+            f"num_groups={self.num_groups}, q_group={self.q_group}, "
+            f"q_root={self.q_root})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Level 1: per-(file band, group) local class histograms
+# --------------------------------------------------------------------------- #
+class _EntryTable:
+    """Growable columnar store of local class-histogram entries.
+
+    One entry is one bit-equality class a group observed for one file:
+    ``(file, global anchor slot, member count, is-base-content flag, hash)``.
+    The hash column is only meaningful for lazy override classes (whose
+    level-1 kernel already hashed them); dense entries are hashed at the
+    root, and only the few that mismatch the file's slot-0 payload.
+    """
+
+    def __init__(self) -> None:
+        self.file: list[np.ndarray] = []
+        self.slot: list[np.ndarray] = []
+        self.count: list[np.ndarray] = []
+        self.is_base: list[np.ndarray] = []
+        self.hash: list[np.ndarray] = []
+
+    def add(self, file, slot, count, is_base, hashes) -> None:
+        n = len(file)
+        self.file.append(np.asarray(file, dtype=np.int64))
+        self.slot.append(np.asarray(slot, dtype=np.int64))
+        self.count.append(np.asarray(count, dtype=np.int64))
+        if isinstance(is_base, bool):
+            is_base = np.full(n, is_base, dtype=bool)
+        self.is_base.append(np.asarray(is_base, dtype=bool))
+        if hashes is None:
+            hashes = np.zeros(n, dtype=np.uint64)
+        self.hash.append(np.asarray(hashes, dtype=np.uint64))
+
+    def frozen(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.concatenate(self.file),
+            np.concatenate(self.slot),
+            np.concatenate(self.count),
+            np.concatenate(self.is_base),
+            np.concatenate(self.hash),
+        )
+
+
+def _dense_band_values(values: np.ndarray, files: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """One group's ``(fc, rc, d)`` sub-cube, as a view when the band is contiguous."""
+    if files.size == values.shape[0] and cols.size and int(cols[-1] - cols[0]) == cols.size - 1:
+        return values[:, int(cols[0]) : int(cols[0]) + cols.size, :]
+    return values[np.ix_(files, cols)]
+
+
+def _dense_cell(values, files, cols, entries, block_size) -> None:
+    """Local classes of one dense (file band, group) cell via the flat labeler."""
+    sub = _dense_band_values(values, files, cols)
+    rc = cols.size
+    labels = _bit_label_matrix(sub, block_size=block_size)
+    sizes = _class_sizes(labels)
+    fi, sl = np.nonzero(labels == np.arange(rc)[None, :])
+    keep = sizes[fi, sl] > 0
+    fi, sl = fi[keep], sl[keep]
+    entries.add(files[fi], cols[sl], sizes[fi, sl], False, None)
+
+
+def _lazy_cell(tensor, files, cols, entries, fallback, d, block_size, view) -> None:
+    """Local classes of one lazy (file band, group) cell — COW views, no densify.
+
+    Mirrors the flat lazy kernel on the group's slot-subset view: overridden
+    slots still equal to the base payload count toward the base class; the
+    rest are hash-grouped (collision-verified) into override classes.
+    """
+    sub = tensor.slot_subset(files, cols)
+    fc, rc, _ = sub.shape
+    o_files, o_slots = sub.overridden_slots()  # row-major: file asc, slot asc
+    if o_files.size == 0:
+        entries.add(files, np.full(fc, cols[0]), np.full(fc, rc), True, None)
+        return
+
+    def sub_bits(files_, slots_):
+        return lambda lo, hi: sub.read_slots_block(files_, slots_, lo, hi).view(view)
+
+    eq_base = _rows_equal(
+        sub_bits(o_files, o_slots),
+        lambda lo, hi: np.ascontiguousarray(sub.base_block(lo, hi)[o_files]).view(view),
+        o_files.size,
+        d,
+        block_size,
+    )
+    ne = np.nonzero(~eq_base)[0]
+    ne_f, ne_s = o_files[ne], o_slots[ne]
+    ne_mask = np.zeros((fc, rc), dtype=bool)
+    ne_mask[ne_f, ne_s] = True
+    base_count = rc - ne_mask.sum(axis=1)
+    hasb = np.nonzero(base_count > 0)[0]
+    if hasb.size:
+        base_anchor = np.argmax(~ne_mask[hasb], axis=1)  # first base-content slot
+        entries.add(files[hasb], cols[base_anchor], base_count[hasb], True, None)
+    if ne.size == 0:
+        return
+    hashes = _accumulate_hashes(sub_bits(ne_f, ne_s), ne.size, d, block_size)
+    # Stable (file, hash) sort; ties keep the row-major slot order, so each
+    # group's first member is its smallest local slot — the class anchor.
+    order = np.lexsort((hashes, ne_f))
+    sf, sh, ss = ne_f[order], hashes[order], ne_s[order]
+    starts = np.empty(order.size, dtype=bool)
+    starts[0] = True
+    starts[1:] = (sf[1:] != sf[:-1]) | (sh[1:] != sh[:-1])
+    group = np.cumsum(starts) - 1
+    first = np.nonzero(starts)[0]
+    member = ~starts
+    if member.any():
+        anchor = order[first][group]
+        verified = _rows_equal(
+            sub_bits(ne_f[order[member]], ne_s[order[member]]),
+            sub_bits(ne_f[anchor[member]], ne_s[anchor[member]]),
+            int(member.sum()),
+            d,
+            block_size,
+        )
+        if not verified.all():
+            # 64-bit hash collision: recompute the affected files exactly at
+            # the root instead of trusting the merged histogram.
+            bad = np.zeros(member.size, dtype=bool)
+            bad[np.nonzero(member)[0][~verified]] = True
+            fallback[files[np.unique(sf[bad])]] = True
+    entries.add(files[sf[first]], cols[ss[first]], np.bincount(group), False, sh[first])
+
+
+# --------------------------------------------------------------------------- #
+# Level 2: root merge of the group histograms
+# --------------------------------------------------------------------------- #
+def hierarchical_majority_vote(
+    tensor, topology: GroupTopology, block_size: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two-level exact majority vote over a :class:`GroupTopology`.
+
+    Level 1 votes each group's sub-round with the existing labeling kernel —
+    on lazy copy-on-write slot-subset views for COW tensors (no replica cube
+    is ever densified) or dense column bands — producing per-file local class
+    histograms.  Level 2 merges the histograms by payload content: the base
+    class merges structurally (lazy tensors), dense group anchors are
+    compared against the file's slot-0 payload, and the residual classes
+    (attacked payloads) merge by collision-verified 64-bit hash.  Any
+    verification failure demotes the affected file to an exact per-file
+    ``tobytes`` recount, so a hash collision can never corrupt the result.
+
+    Returns the same ``(winners, counts)`` as
+    :func:`~repro.aggregation.majority.majority_vote_votetensor` with
+    ``tolerance=0`` — bit-identical, by the class-decomposition argument in
+    the module docstring.  ``block_size`` streams every payload-touching
+    stage in coordinate blocks (see the flat kernels).
+    """
+    block_size = validate_block_size(block_size)
+    f, r, d = tensor.shape
+    if r == 0:
+        raise AggregationError("majority vote needs at least one vote")
+    workers = tensor.workers
+    if workers.size and (
+        int(workers.min()) < 0 or int(workers.max()) >= topology.num_workers
+    ):
+        raise ConfigurationError(
+            f"vote tensor references workers outside the "
+            f"{topology.num_workers}-worker topology"
+        )
+    if d == 0 or r == 1 or topology.num_groups == 1 or f == 0:
+        # Degenerate shapes: one group (or one slot) is the flat vote.
+        return majority_vote_votetensor(tensor, 0.0, block_size=block_size)
+
+    lazy = bool(getattr(tensor, "is_lazy", False))
+    view = bit_view_dtype(tensor.dtype)
+    slot_groups = topology.group_of[workers]  # (f, r)
+    entries = _EntryTable()
+    fallback = np.zeros(f, dtype=bool)
+
+    # ---- level 1: group the files into signature bands (files whose slots
+    # map to groups identically), so each (band, group) cell is rectangular.
+    signatures, inverse = np.unique(slot_groups, axis=0, return_inverse=True)
+    inverse = inverse.ravel()
+    dense_values = None if lazy else tensor.values
+    for c in range(signatures.shape[0]):
+        files = np.nonzero(inverse == c)[0]
+        row = signatures[c]
+        for g in np.unique(row):
+            cols = np.nonzero(row == g)[0]
+            if lazy:
+                _lazy_cell(tensor, files, cols, entries, fallback, d, block_size, view)
+            else:
+                _dense_cell(dense_values, files, cols, entries, block_size)
+
+    e_file, e_slot, e_count, e_base, e_hash = entries.frozen()
+
+    def rows_bits(files_, slots_):
+        return lambda lo, hi: tensor.read_slots_block(files_, slots_, lo, hi).view(view)
+
+    # ---- level 2, phase 1: the reference class.  Lazy tensors merge base
+    # entries structurally (shared honest payload, no comparison needed);
+    # dense tensors compare every group anchor against the file's slot-0
+    # payload, which settles a fully honest round with zero hashing.
+    class0_count = np.zeros(f, dtype=np.int64)
+    class0_slot = np.full(f, r, dtype=np.int64)
+    if lazy:
+        base_idx = np.nonzero(e_base)[0]
+        np.add.at(class0_count, e_file[base_idx], e_count[base_idx])
+        np.minimum.at(class0_slot, e_file[base_idx], e_slot[base_idx])
+        residual = np.nonzero(~e_base)[0]
+    else:
+        is_ref = e_slot == 0
+        class0_count[e_file[is_ref]] = e_count[is_ref]
+        class0_slot[e_file[is_ref]] = 0
+        nonref = np.nonzero(~is_ref)[0]
+        if nonref.size:
+            eq_ref = _rows_equal(
+                rows_bits(e_file[nonref], e_slot[nonref]),
+                rows_bits(e_file[nonref], np.zeros(nonref.size, dtype=np.int64)),
+                nonref.size,
+                d,
+                block_size,
+            )
+            np.add.at(class0_count, e_file[nonref[eq_ref]], e_count[nonref[eq_ref]])
+            residual = nonref[~eq_ref]
+        else:
+            residual = nonref
+
+    # ---- level 2, phase 2: merge the residual (attacked) classes by
+    # collision-verified hash; the class anchor is its smallest global slot.
+    best = np.full(f, -1, dtype=np.int64)
+    has0 = class0_count > 0
+    best[has0] = class0_count[has0] * (r + 1) - class0_slot[has0]
+    if residual.size:
+        rf, rs, rc_ = e_file[residual], e_slot[residual], e_count[residual]
+        rh = e_hash[residual]
+        if not lazy:
+            rh = _accumulate_hashes(rows_bits(rf, rs), residual.size, d, block_size)
+        order = np.lexsort((rs, rh, rf))
+        sf, sh, ss, sc = rf[order], rh[order], rs[order], rc_[order]
+        starts = np.empty(order.size, dtype=bool)
+        starts[0] = True
+        starts[1:] = (sf[1:] != sf[:-1]) | (sh[1:] != sh[:-1])
+        run = np.cumsum(starts) - 1
+        first = np.nonzero(starts)[0]
+        member = ~starts
+        if member.any():
+            anchor_pos = first[run]
+            verified = _rows_equal(
+                rows_bits(sf[member], ss[member]),
+                rows_bits(sf[anchor_pos[member]], ss[anchor_pos[member]]),
+                int(member.sum()),
+                d,
+                block_size,
+            )
+            if not verified.all():
+                bad = np.zeros(member.size, dtype=bool)
+                bad[np.nonzero(member)[0][~verified]] = True
+                fallback[np.unique(sf[bad])] = True
+        run_count = np.bincount(run, weights=sc).astype(np.int64)
+        run_file, run_slot = sf[first], ss[first]
+        np.maximum.at(best, run_file, run_count * (r + 1) - run_slot)
+
+    # ---- winner resolution: largest class, smallest slot on ties —
+    # the flat kernel's exact tie-break, recovered from the packed score.
+    win_count = (best + r) // (r + 1)
+    win_slot = win_count * (r + 1) - best
+    winners = tensor.read_slots(np.arange(f), win_slot)
+    counts = win_count
+
+    fb = np.nonzero(fallback)[0]
+    if fb.size:
+        mats = tensor.materialize_files(fb)
+        for pos, i in enumerate(fb):
+            winner, count = _reference_exact_majority(mats[pos])
+            winners[i] = winner
+            counts[i] = count
+    return winners, counts

@@ -29,7 +29,11 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.aggregation.base import Aggregator
-from repro.aggregation.majority import MajorityVote, majority_vote_votetensor
+from repro.aggregation.majority import (
+    MajorityVote,
+    majority_vote_votetensor,
+    validate_block_size,
+)
 from repro.aggregation.mean import MeanAggregator
 from repro.aggregation.median import CoordinateWiseMedian
 from repro.core.vote_tensor import VoteTensor
@@ -78,6 +82,15 @@ def _validate_vote_tensor(expected: np.ndarray, tensor: VoteTensor) -> None:
         )
 
 
+def _check_topology_vote(topology, vote_tolerance: float) -> None:
+    """Hierarchical voting is exact-equality only (histograms merge by content)."""
+    if topology is not None and vote_tolerance > 0:
+        raise ConfigurationError(
+            "hierarchical aggregation supports exact voting only; a group "
+            f"topology cannot be combined with vote_tolerance={vote_tolerance}"
+        )
+
+
 def _checked_arrival_mask(tensor: VoteTensor, arrived: np.ndarray) -> np.ndarray:
     """Validate a partial-aggregation ``(f, r)`` arrival mask."""
     arrived = np.asarray(arrived, dtype=bool)
@@ -99,13 +112,37 @@ class AggregationPipeline:
     validate:
         Whether :meth:`aggregate` verifies that the votes match the
         assignment (disable in tight loops once the driver is trusted).
+    topology:
+        Optional :class:`~repro.cluster.topology.GroupTopology`.  Voting
+        pipelines then run the hierarchical two-level majority vote (per
+        group, then a root merge) instead of the flat kernel — bit-identical
+        output, but bounded per-group working sets.  Requires exact voting
+        (``vote_tolerance == 0``); the vanilla pipeline has no vote stage
+        and rejects a topology.
+    block_size:
+        Optional coordinate-block width streamed through the majority-vote
+        kernels (flat or hierarchical), capping their peak temporaries at
+        ``O(rows . block)`` while staying bit-identical.
     """
 
     pipeline_name = "abstract"
 
-    def __init__(self, assignment: BipartiteAssignment, validate: bool = True) -> None:
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        validate: bool = True,
+        topology=None,
+        block_size: int | None = None,
+    ) -> None:
         self.assignment = assignment
         self.validate = bool(validate)
+        self.topology = topology
+        self.block_size = validate_block_size(block_size)
+        if topology is not None and topology.num_workers != assignment.num_workers:
+            raise ConfigurationError(
+                f"topology spans {topology.num_workers} workers but the "
+                f"assignment has {assignment.num_workers}"
+            )
         self._expected_slots: np.ndarray | None = None
 
     def _expected_slot_matrix(self) -> np.ndarray:
@@ -184,8 +221,23 @@ class AggregationPipeline:
         copies only, and a file with no arrivals contributes a zero winner —
         the same "missing = zero gradient" convention the fault injectors
         use, so the robust stage sees a consistent shape every round.
+
+        With a group topology the complete files vote hierarchically (per
+        group, then a root histogram merge — bit-identical to the flat
+        kernel, so the incomplete-file re-vote below stays valid unchanged).
         """
-        winners, _ = majority_vote_votetensor(tensor, voter.tolerance)
+        if self.topology is not None and voter.tolerance == 0.0:
+            # Imported lazily: repro.cluster pulls in this module at import
+            # time, so a top-level import would be circular.
+            from repro.cluster.topology import hierarchical_majority_vote
+
+            winners, _ = hierarchical_majority_vote(
+                tensor, self.topology, block_size=self.block_size
+            )
+        else:
+            winners, _ = majority_vote_votetensor(
+                tensor, voter.tolerance, block_size=self.block_size
+            )
         if arrived is None:
             return winners
         incomplete = np.nonzero(~arrived.all(axis=1))[0]
@@ -214,10 +266,16 @@ class AggregationPipeline:
 
     def describe(self) -> dict[str, str]:
         """Short description used in experiment reports."""
-        return {
+        out = {
             "pipeline": self.pipeline_name,
             "assignment": self.assignment.name,
         }
+        if self.topology is not None:
+            out["topology"] = (
+                f"groups={self.topology.num_groups}, "
+                f"q_group={self.topology.q_group}, q_root={self.topology.q_root}"
+            )
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}(assignment={self.assignment.name!r})"
@@ -246,8 +304,13 @@ class ByzShieldPipeline(AggregationPipeline):
         aggregator: Aggregator | None = None,
         vote_tolerance: float = 0.0,
         validate: bool = True,
+        topology=None,
+        block_size: int | None = None,
     ) -> None:
-        super().__init__(assignment, validate=validate)
+        _check_topology_vote(topology, vote_tolerance)
+        super().__init__(
+            assignment, validate=validate, topology=topology, block_size=block_size
+        )
         if assignment.replication % 2 == 0:
             raise ConfigurationError(
                 "ByzShield majority voting requires an odd replication factor, "
@@ -308,8 +371,13 @@ class DetoxPipeline(AggregationPipeline):
         aggregator: Aggregator | None = None,
         vote_tolerance: float = 0.0,
         validate: bool = True,
+        topology=None,
+        block_size: int | None = None,
     ) -> None:
-        super().__init__(assignment, validate=validate)
+        _check_topology_vote(topology, vote_tolerance)
+        super().__init__(
+            assignment, validate=validate, topology=topology, block_size=block_size
+        )
         if assignment.computational_load != 1:
             raise ConfigurationError(
                 "DETOX expects an FRC assignment where every worker holds exactly "
@@ -355,8 +423,13 @@ class DracoPipeline(AggregationPipeline):
         num_byzantine: int,
         vote_tolerance: float = 0.0,
         validate: bool = True,
+        topology=None,
+        block_size: int | None = None,
     ) -> None:
-        super().__init__(assignment, validate=validate)
+        _check_topology_vote(topology, vote_tolerance)
+        super().__init__(
+            assignment, validate=validate, topology=topology, block_size=block_size
+        )
         if assignment.computational_load != 1:
             raise ConfigurationError(
                 "DRACO expects an FRC assignment (one file per worker); got load="
@@ -409,7 +482,19 @@ class VanillaPipeline(AggregationPipeline):
         assignment: BipartiteAssignment,
         aggregator: Aggregator,
         validate: bool = True,
+        topology=None,
+        block_size: int | None = None,
     ) -> None:
+        if topology is not None:
+            raise ConfigurationError(
+                "the vanilla pipeline has no vote stage; a group topology "
+                "requires a voting pipeline (byzshield, detox or draco)"
+            )
+        if block_size is not None:
+            raise ConfigurationError(
+                "the vanilla pipeline runs no vote kernel; pass block_size to "
+                "the robust aggregator instead (aggregator_params)"
+            )
         super().__init__(assignment, validate=validate)
         if assignment.replication != 1 or assignment.computational_load != 1:
             raise ConfigurationError(

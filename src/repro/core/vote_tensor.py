@@ -455,6 +455,74 @@ class VoteTensor:
         view.setflags(write=False)
         return view
 
+    # -- coordinate-block views (blockwise kernels) --------------------------
+    def base_block(self, lo: int, hi: int) -> np.ndarray:
+        """Read-only ``(f, hi - lo)`` view of base columns ``[lo, hi)``.
+
+        Lazy tensors only.  The blockwise vote kernels stream coordinate
+        blocks through a fixed workspace; this is the zero-copy source for
+        the honest side of each block comparison.
+        """
+        if self._base is None:
+            raise ConfigurationError(
+                "base_block() is only defined for lazy (copy-on-write) tensors"
+            )
+        view = self._base[:, lo:hi]
+        view.setflags(write=False)
+        return view
+
+    def read_slots_block(self, files, slots, lo: int, hi: int) -> np.ndarray:
+        """``(m, hi - lo)`` coordinate block of the given (file, slot) pairs.
+
+        The blockwise counterpart of :meth:`read_slots`: only columns
+        ``[lo, hi)`` of each selected row are gathered, so peak memory is
+        O(m · block) no matter how large ``d`` grows.
+        """
+        files = np.asarray(files, dtype=np.int64).ravel()
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        if self._dense is not None:
+            return self._dense[files, slots, lo:hi]
+        assert self._base is not None and self._slot_map is not None
+        out = self._base[files, lo:hi]
+        idx = self._slot_map[files, slots]
+        overridden = idx >= 0
+        if overridden.any():
+            assert self._store is not None
+            out[overridden] = self._store[idx[overridden], lo:hi]
+        return out
+
+    def slot_subset(self, files, slots) -> "VoteTensor":
+        """Sub-tensor of ``files`` × ``slots`` — a group's share of the round.
+
+        ``files`` selects rows and ``slots`` selects vote columns (the same
+        columns for every selected file).  Lazy tensors stay lazy: the
+        subset shares the override store and only gathers the selected base
+        rows and slot-map entries, so no replica cube is ever built.  The
+        hierarchical topology uses this to hand each group its local
+        sub-VoteTensor without densifying.  Lazy subsets share the parent's
+        override store and are meant to be read (voted over), not written.
+        """
+        files = np.asarray(files, dtype=np.int64).ravel()
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        workers = self.workers[np.ix_(files, slots)]
+        mask = self.byzantine_mask[np.ix_(files, slots)]
+        if self._dense is not None:
+            return VoteTensor(self._dense[np.ix_(files, slots)], workers, mask)
+        assert self._base is not None and self._slot_map is not None
+        assert self._store is not None
+        all_files = files.size == self.num_files and bool(
+            np.all(files == np.arange(self.num_files))
+        )
+        sub = object.__new__(VoteTensor)
+        sub.workers = workers
+        sub.byzantine_mask = mask
+        sub._dense = None
+        sub._base = self._base if all_files else np.ascontiguousarray(self._base[files])
+        sub._slot_map = np.ascontiguousarray(self._slot_map[np.ix_(files, slots)])
+        sub._store = self._store
+        sub._num_overrides = self._num_overrides
+        return sub
+
     # -- mutation ------------------------------------------------------------
     def slot_of(self, file: int, worker: int) -> int:
         """Slot index ``k`` of ``worker`` in ``file``'s row (binary search)."""

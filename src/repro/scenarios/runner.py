@@ -35,6 +35,7 @@ from repro.cluster.faults import (
 )
 from repro.cluster.events import AsyncRuntime
 from repro.cluster.simulator import TrainingCluster
+from repro.cluster.topology import GroupTopology
 from repro.cluster.worker import WorkerPool
 from repro.compression.compressors import create_compressor
 from repro.core.pipelines import (
@@ -119,14 +120,33 @@ class ScenarioRunner:
             ) from exc
         return scheme.assignment
 
-    def _build_pipeline(self, assignment: BipartiteAssignment) -> AggregationPipeline:
+    def _build_topology(self, assignment: BipartiteAssignment) -> GroupTopology | None:
+        section = self.spec.topology
+        if section is None:
+            return None
+        return GroupTopology(
+            assignment.num_workers,
+            section.groups,
+            q_group=section.q_group,
+            q_root=section.q_root,
+        )
+
+    def _build_pipeline(
+        self,
+        assignment: BipartiteAssignment,
+        topology: GroupTopology | None,
+    ) -> AggregationPipeline:
         section = self.spec.pipeline
         max_q = 0
         if self.spec.attack is not None:
             max_q = AdversarySchedule(**self.spec.attack.schedule.to_dict()).max_q
         if section.kind == "draco":
             return DracoPipeline(
-                assignment, num_byzantine=max_q, vote_tolerance=section.vote_tolerance
+                assignment,
+                num_byzantine=max_q,
+                vote_tolerance=section.vote_tolerance,
+                topology=topology,
+                block_size=section.block_size,
             )
         try:
             aggregator = create_aggregator(section.aggregator, **section.aggregator_params)
@@ -136,13 +156,28 @@ class ScenarioRunner:
             ) from exc
         if section.kind == "byzshield":
             return ByzShieldPipeline(
-                assignment, aggregator=aggregator, vote_tolerance=section.vote_tolerance
+                assignment,
+                aggregator=aggregator,
+                vote_tolerance=section.vote_tolerance,
+                topology=topology,
+                block_size=section.block_size,
             )
         if section.kind == "detox":
             return DetoxPipeline(
-                assignment, aggregator=aggregator, vote_tolerance=section.vote_tolerance
+                assignment,
+                aggregator=aggregator,
+                vote_tolerance=section.vote_tolerance,
+                topology=topology,
+                block_size=section.block_size,
             )
-        return VanillaPipeline(assignment, aggregator=aggregator)
+        # Vanilla rejects both knobs itself with a pointed message, so a spec
+        # that combines them surfaces as a ConfigurationError, not silence.
+        return VanillaPipeline(
+            assignment,
+            aggregator=aggregator,
+            topology=topology,
+            block_size=section.block_size,
+        )
 
     def _build_datasets(self) -> tuple[Dataset, Dataset]:
         data = self.spec.data
@@ -191,7 +226,8 @@ class ScenarioRunner:
     def _assemble(self, round_observer) -> DistributedTrainer:
         spec = self.spec
         assignment = self._build_assignment()
-        pipeline = self._build_pipeline(assignment)
+        topology = self._build_topology(assignment)
+        pipeline = self._build_pipeline(assignment, topology)
         train_dataset, test_dataset = self._build_datasets()
         model = build_mlp(
             train_dataset.flat_feature_dim,
@@ -234,6 +270,7 @@ class ScenarioRunner:
                 _build_fault_injector(f) for f in spec.faults
             ),
             runtime=runtime,
+            topology=topology,
         )
         config = TrainingConfig(
             batch_size=spec.training.batch_size,

@@ -37,6 +37,7 @@ __all__ = [
     "FaultSpec",
     "CompressionSpec",
     "RuntimeSpec",
+    "TopologySpec",
     "ScenarioSpec",
 ]
 
@@ -87,13 +88,17 @@ class PipelineSpec:
     ``kind`` is ``"byzshield"``, ``"detox"``, ``"draco"`` or ``"vanilla"``;
     ``aggregator``/``aggregator_params`` name the registry rule (ignored by
     DRACO, which always averages); ``vote_tolerance`` loosens the majority
-    vote's exact-equality matching.
+    vote's exact-equality matching.  ``block_size`` streams the vote kernels
+    in coordinate blocks (``None``, the default and the form omitted from
+    the canonical dict, keeps the monolithic kernels — existing spec digests
+    are unchanged).
     """
 
     kind: str = "byzshield"
     aggregator: str = "median"
     aggregator_params: dict[str, Any] = field(default_factory=dict)
     vote_tolerance: float = 0.0
+    block_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("byzshield", "detox", "draco", "vanilla"):
@@ -105,17 +110,26 @@ class PipelineSpec:
             raise ConfigurationError(
                 f"vote_tolerance must be non-negative, got {self.vote_tolerance}"
             )
+        if self.block_size is not None and self.block_size < 1:
+            raise ConfigurationError(
+                f"block_size must be a positive integer or omitted, got "
+                f"{self.block_size}"
+            )
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
         _check_keys(
-            "pipeline", data, ("kind", "aggregator", "aggregator_params", "vote_tolerance")
+            "pipeline",
+            data,
+            ("kind", "aggregator", "aggregator_params", "vote_tolerance", "block_size"),
         )
+        block_size = data.get("block_size")
         return cls(
             kind=str(data.get("kind", "byzshield")),
             aggregator=str(data.get("aggregator", "median")),
             aggregator_params=dict(data.get("aggregator_params", {})),
             vote_tolerance=float(data.get("vote_tolerance", 0.0)),
+            block_size=None if block_size is None else int(block_size),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -126,6 +140,8 @@ class PipelineSpec:
         }
         if self.vote_tolerance:
             out["vote_tolerance"] = self.vote_tolerance
+        if self.block_size is not None:
+            out["block_size"] = self.block_size
         return _prune(out)
 
 
@@ -434,6 +450,53 @@ class RuntimeSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Two-level aggregation topology (hierarchical majority voting).
+
+    ``groups`` partitions the workers into that many contiguous, balanced
+    voting groups; ``q_group``/``q_root`` are the per-level tolerated-
+    adversary budgets carried by :class:`~repro.cluster.topology.
+    GroupTopology`.  Scenarios without this section run the flat vote and
+    serialize no ``topology`` key, so adding the section changed no existing
+    spec digest.
+    """
+
+    groups: int
+    q_group: int = 0
+    q_root: int = 0
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ConfigurationError(
+                f"topology groups must be >= 1, got {self.groups}"
+            )
+        if self.q_group < 0 or self.q_root < 0:
+            raise ConfigurationError(
+                f"topology budgets must be non-negative, got "
+                f"q_group={self.q_group}, q_root={self.q_root}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        _check_keys("topology", data, ("groups", "q_group", "q_root"))
+        if "groups" not in data:
+            raise ConfigurationError("topology section requires 'groups'")
+        return cls(
+            groups=int(data["groups"]),
+            q_group=int(data.get("q_group", 0)),
+            q_root=int(data.get("q_root", 0)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"groups": self.groups}
+        if self.q_group:
+            out["q_group"] = self.q_group
+        if self.q_root:
+            out["q_root"] = self.q_root
+        return out
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, reproducible description of one simulated training run."""
 
@@ -448,6 +511,7 @@ class ScenarioSpec:
     faults: tuple[FaultSpec, ...] = ()
     compression: CompressionSpec | None = None
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
+    topology: TopologySpec | None = None
     dtype: str = "float64"
     description: str = ""
 
@@ -478,6 +542,7 @@ class ScenarioSpec:
                 "faults",
                 "compression",
                 "runtime",
+                "topology",
                 "dtype",
                 "description",
             ),
@@ -486,6 +551,7 @@ class ScenarioSpec:
             raise ConfigurationError("scenario requires a 'name'")
         attack = data.get("attack")
         compression = data.get("compression")
+        topology = data.get("topology")
         return cls(
             name=str(data["name"]),
             seed=int(data.get("seed", 0)),
@@ -500,6 +566,7 @@ class ScenarioSpec:
                 None if compression is None else CompressionSpec.from_dict(compression)
             ),
             runtime=RuntimeSpec.from_dict(data.get("runtime", {})),
+            topology=None if topology is None else TopologySpec.from_dict(topology),
             dtype=str(data.get("dtype", "float64")),
             description=str(data.get("description", "")),
         )
@@ -534,6 +601,10 @@ class ScenarioSpec:
             # Synchronous scenarios serialize no runtime section, keeping
             # every pre-existing spec digest (and its golden trace) intact.
             out["runtime"] = runtime
+        if self.topology is not None:
+            # Flat-vote scenarios serialize no topology section (same
+            # digest-preservation contract as the runtime section).
+            out["topology"] = self.topology.to_dict()
         if self.dtype != "float64":
             # Emitted only when non-default so existing float64 spec digests
             # (and the golden traces pinned to them) are unchanged.

@@ -21,7 +21,21 @@ __all__ = [
     "flatten_arrays",
     "unflatten_vector",
     "pairwise_squared_distances",
+    "block_ranges",
 ]
+
+
+def block_ranges(d: int, block_size: int | None):
+    """Yield the ``[lo, hi)`` coordinate blocks covering dimension ``d``.
+
+    ``None`` (or a width >= ``d``) yields the single full range — callers can
+    therefore write one streaming loop that also covers the monolithic case.
+    """
+    if block_size is None or block_size >= d:
+        yield 0, d
+        return
+    for lo in range(0, d, block_size):
+        yield lo, min(lo + block_size, d)
 
 
 def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
@@ -71,17 +85,36 @@ def stack_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
     return np.vstack(mats)
 
 
-def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
+def pairwise_squared_distances(
+    matrix: np.ndarray, block_size: int | None = None
+) -> np.ndarray:
     """Compute the ``(n, n)`` matrix of squared Euclidean distances.
 
     Uses the ``||x||² + ||y||² − 2·x·y`` identity so the whole computation is
     a single matrix multiplication; numerical noise is clipped at zero.
+
+    With ``block_size`` set, the norms and the Gram matrix accumulate over
+    coordinate blocks so the peak temporary is O(n² + n · block).  The block
+    partial sums can differ from the monolithic reduction in the last ulp;
+    Krum-family consumers only rank the distances, so their *selection* (and
+    hence their output rows) stays identical — the per-aggregator bit-identity
+    property tests pin this down.
     """
     matrix = ensure_float(matrix)
     if matrix.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
-    norms = np.einsum("ij,ij->i", matrix, matrix)
-    sq = norms[:, None] + norms[None, :] - 2.0 * (matrix @ matrix.T)
+    n, d = matrix.shape
+    if block_size is None or block_size >= d:
+        norms = np.einsum("ij,ij->i", matrix, matrix)
+        gram = matrix @ matrix.T
+    else:
+        norms = np.zeros(n, dtype=matrix.dtype)
+        gram = np.zeros((n, n), dtype=matrix.dtype)
+        for lo, hi in block_ranges(d, block_size):
+            block = matrix[:, lo:hi]
+            norms += np.einsum("ij,ij->i", block, block)
+            gram += block @ block.T
+    sq = norms[:, None] + norms[None, :] - 2.0 * gram
     np.maximum(sq, 0.0, out=sq)
     np.fill_diagonal(sq, 0.0)
     return sq

@@ -1,0 +1,142 @@
+"""Hierarchical rounds under the event-driven runtime: group-level quorum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment.frc import FRCAssignment
+from repro.cluster.events import LATE_KIND, AsyncRuntime, EventDrivenRound
+from repro.cluster.topology import GroupTopology
+from repro.core.vote_tensor import VoteTensor
+from repro.scenarios.catalog import get_scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+@pytest.fixture(scope="module")
+def frc_6():
+    """Six workers, r=3: two files whose three copies share one FRC group —
+    with a 2-group topology each file is one 3-slot cell plus nothing else."""
+    return FRCAssignment(num_workers=6, replication=3).assignment
+
+
+def one_round(assignment, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    honest = rng.standard_normal((assignment.num_files, dim))
+    return VoteTensor.from_honest(assignment, honest), honest
+
+
+def collect(tensor, arrivals, topology, **runtime_kwargs):
+    runtime = AsyncRuntime(**runtime_kwargs)
+    return EventDrivenRound(runtime).collect(
+        tensor, np.asarray(arrivals, dtype=np.float64), topology=topology
+    )
+
+
+class TestGroupQuorumCells:
+    def test_cell_closes_at_group_quorum_and_rejects_late(self, frc_6):
+        # FRC(6, 3): file 0 -> workers {0,1,2} (group 0 of a 2-group split),
+        # file 1 -> workers {3,4,5} (group 1).  Quorum 2 closes each file's
+        # single non-empty cell at its 2nd copy; the 3rd is group-level late.
+        tensor, _ = one_round(frc_6)
+        topo = GroupTopology(6, 2)
+        arrivals = [[0.1, 0.2, 0.3], [0.1, 0.2, 0.3]]
+        out = collect(tensor, arrivals, topo, quorum=2)
+        assert out.accepted.sum() == 4
+        assert len(out.late_events) == 2
+        assert all(e.kind == LATE_KIND for e in out.late_events)
+        assert out.group_close_times.shape == (2, 2)
+        # file 0 lives entirely in group 0, file 1 entirely in group 1
+        assert out.group_close_times[0, 0] == pytest.approx(0.2)
+        assert np.isinf(out.group_close_times[0, 1])  # empty cell never closes
+        assert out.group_close_times[1, 1] == pytest.approx(0.2)
+        assert np.isinf(out.group_close_times[1, 0])
+
+    def test_quorum_clamps_to_local_slot_count(self, frc_6):
+        # With 6 groups every cell holds one slot: quorum 3 clamps to 1 per
+        # cell, so a file closes only when all of its groups delivered —
+        # and nothing is ever late.
+        tensor, _ = one_round(frc_6)
+        topo = GroupTopology(6, 6)
+        out = collect(tensor, [[0.1, 0.2, 0.3], [0.1, 0.2, 0.3]], topo, quorum=3)
+        assert out.accepted.all()
+        assert not out.late_events
+        assert out.file_close_times[0] == pytest.approx(0.3)
+
+    def test_other_groups_stay_open_after_one_cell_closes(self):
+        # 5 workers, r=5 (one file), split 3|2.  Quorum 1: each cell closes
+        # on its first copy.  Copies 2 and 3 of group 0 are late even though
+        # group 1 has not closed yet; group 1's second copy is late too.
+        assignment = FRCAssignment(num_workers=5, replication=5).assignment
+        tensor, _ = one_round(assignment)
+        topo = GroupTopology(5, 2)
+        out = collect(tensor, [[0.1, 0.2, 0.3, 0.9, 1.0]], topo, quorum=1)
+        assert [e.slot for e in out.late_events] == [1, 2, 4]
+        assert out.accepted.tolist() == [[True, False, False, True, False]]
+        assert out.group_close_times[0].tolist() == [0.1, 0.9]
+        assert out.file_close_times[0] == pytest.approx(0.9)
+
+    def test_late_slots_are_zeroed_in_tensor(self, frc_6):
+        tensor, honest = one_round(frc_6)
+        topo = GroupTopology(6, 2)
+        collect(tensor, [[0.1, 0.2, 0.3], [0.1, 0.2, 0.3]], topo, quorum=2)
+        assert np.array_equal(tensor.read_slots(np.array([0]), np.array([2]))[0],
+                              np.zeros(tensor.dim))
+        # accepted copies keep the honest payload
+        assert np.array_equal(tensor.read_slots(np.array([0]), np.array([0]))[0],
+                              honest[0])
+
+    def test_flat_round_has_no_group_close_times(self, frc_6):
+        tensor, _ = one_round(frc_6)
+        out = collect(tensor, [[0.1, 0.2, 0.3], [0.1, 0.2, 0.3]], None, quorum=2)
+        assert out.group_close_times is None
+
+    def test_no_quorum_waits_for_every_copy(self, frc_6):
+        tensor, _ = one_round(frc_6)
+        topo = GroupTopology(6, 2)
+        out = collect(tensor, [[0.1, 0.2, 0.3], [0.1, 0.2, 0.3]], topo)
+        assert out.accepted.all()
+        assert not out.late_events
+
+
+class TestHierarchicalSyncEquivalence:
+    """deadline=inf + no quorum must reproduce the sync round bit-exactly,
+    with or without a topology."""
+
+    @pytest.mark.parametrize(
+        "name", ["mols-hier-groups3-alie", "ramanujan-hier-groups5-revgrad"]
+    )
+    def test_deadline_inf_matches_sync_hierarchical(self, name):
+        sync = run_scenario(get_scenario(name))
+        data = get_scenario(name).to_dict()
+        data["name"] += "-async-inf"
+        # RuntimeSpec(deadline=None, quorum=None) is not an event runtime;
+        # force the event engine with an explicit huge deadline instead.
+        data["runtime"] = {"deadline": 1e30}
+        event = run_scenario(ScenarioSpec.from_dict(data))
+        assert event.trace.final_params_digest == sync.trace.final_params_digest
+        for a, b in zip(sync.trace.rounds, event.trace.rounds):
+            assert a.votes_digest == b.votes_digest
+            assert a.winners_digest == b.winners_digest
+            assert a.aggregate_digest == b.aggregate_digest
+
+    def test_group_quorum_partial_scenario_records_group_lates(self):
+        result = run_scenario(get_scenario("ramanujan-hier-async-group-quorum"))
+        lates = [
+            f for r in result.trace.rounds for f in r.faults
+            if f.get("kind") == LATE_KIND
+        ]
+        assert lates  # group-level rejections actually happen
+        # Group cells reject far fewer copies than the flat per-file quorum
+        # (only cells holding more than `quorum` slots ever reject).
+        data = get_scenario("ramanujan-hier-async-group-quorum").to_dict()
+        data.pop("topology")
+        data["name"] += "-flat"
+        flat = run_scenario(ScenarioSpec.from_dict(data))
+        flat_lates = [
+            f for r in flat.trace.rounds for f in r.faults
+            if f.get("kind") == LATE_KIND
+        ]
+        assert len(lates) < len(flat_lates)
+        assert flat.trace.final_params_digest != result.trace.final_params_digest

@@ -221,6 +221,78 @@ def gradient_engine_kernels() -> dict:
     return kernels
 
 
+def adaptive_attack_kernels() -> dict:
+    """Attacked PS rounds at the paper's K=25 scale (f=25, r=5, d≈11k).
+
+    Each kernel runs one full attacked round: lazy COW vote tensor from the
+    honest gradients, Byzantine slot marking, the attack's vectorized
+    ``apply_tensor`` write, then the ByzShield aggregate.  ``constant`` is
+    the paper's fixed-payload baseline; the others are the adaptive zoo,
+    whose closed-form searches (Fang's λ ladder, min-max's γ bisection) must
+    stay within 1.5x of the constant round — the gate
+    :func:`adaptive_attack_gate` enforces on every non-smoke run.
+    """
+    from repro.attacks.base import AttackContext
+    from repro.attacks.registry import create_attack
+
+    assignment = RamanujanAssignment(m=5, s=5).assignment
+    dim = 11_274  # match the replication kernels' MLP-sized gradients
+    honest = np.random.default_rng(11).standard_normal((assignment.num_files, dim))
+    gradients = {i: honest[i] for i in range(honest.shape[0])}
+    byzantine = tuple(range(5))  # q=5 of K=25
+    pipeline = ByzShieldPipeline(assignment, validate=False)
+
+    def attacked_round(attack):
+        tensor = VoteTensor.from_honest(assignment, honest)
+        tensor.mark_byzantine(byzantine)
+        context = AttackContext(
+            assignment=assignment,
+            byzantine_workers=byzantine,
+            honest_file_gradients=gradients,
+            iteration=0,
+            rng=np.random.default_rng(13),
+            honest_matrix=honest,
+        )
+        attack.apply_tensor(context, tensor)
+        return pipeline.aggregate_tensor(tensor)
+
+    zoo = {
+        "constant": create_attack("constant"),
+        "inner_product": create_attack("inner_product"),
+        "sign_flip": create_attack("sign_flip"),
+        "fang_median": create_attack("fang", defense="median"),
+        "min_max_unit": create_attack("min_max", direction="unit"),
+        "min_sum_std": create_attack("min_sum", direction="std"),
+    }
+    return {
+        f"adaptive_attack_{key}_round_f25_r5_d11k": (
+            lambda attack=attack: attacked_round(attack)
+        )
+        for key, attack in zoo.items()
+    }
+
+
+#: Largest allowed slowdown of any adaptive-attack round vs the constant
+#: baseline round (same tensor build + aggregate, trivial payload).
+ADAPTIVE_VS_CONSTANT_LIMIT = 1.5
+
+
+def adaptive_attack_gate(results: dict) -> list:
+    """Adaptive rounds vs the constant baseline; return the violations."""
+    baseline = results["adaptive_attack_constant_round_f25_r5_d11k"]["min_s"]
+    violations = []
+    for name, entry in results.items():
+        if not name.startswith("adaptive_attack_") or "constant" in name:
+            continue
+        ratio = entry["min_s"] / baseline
+        marker = ""
+        if ratio > ADAPTIVE_VS_CONSTANT_LIMIT:
+            marker = f"  <-- exceeds {ADAPTIVE_VS_CONSTANT_LIMIT:.1f}x limit"
+            violations.append((name, ratio))
+        print(f"adaptive round cost vs constant: {name:48s} {ratio:5.2f}x{marker}")
+    return violations
+
+
 def build_kernels() -> dict:
     """Name -> zero-argument callable for every benchmarked kernel."""
     rng = np.random.default_rng(0)
@@ -268,6 +340,7 @@ def build_kernels() -> dict:
     kernels.update(event_round_kernels())
     kernels.update(hierarchical_vote_kernels())
     kernels.update(gradient_engine_kernels())
+    kernels.update(adaptive_attack_kernels())
     return kernels
 
 
@@ -388,9 +461,14 @@ def main(argv=None) -> int:
         print(f"{name:48s} {best * 1e3:9.3f} ms   {1.0 / best:10.1f} ops/s")
 
     report_speedups(results)
+    gate_violations = adaptive_attack_gate(results)
 
     if args.smoke:
         return 0
+
+    if gate_violations and not args.no_fail:
+        print(f"\n{len(gate_violations)} adaptive attack round(s) over the cost limit")
+        return 1
 
     if args.check:
         baseline_path = previous_snapshot()

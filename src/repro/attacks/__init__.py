@@ -6,8 +6,10 @@ Two orthogonal choices define the adversary of the paper:
   random selection (the DETOX/DRACO assumption) and the paper's omniscient
   selection that maximizes the distortion fraction ``ε̂``;
 * **what** the Byzantine workers send — :mod:`repro.attacks` implements ALIE,
-  the constant attack, reversed gradient, plus Gaussian-noise and random
-  attacks used in extension experiments.
+  the constant attack, reversed gradient, Gaussian-noise and random attacks,
+  plus the adaptive adversary zoo: inner-product manipulation, sign-flip
+  collusion, Fang-style aggregator-aware payload search and the AGR-agnostic
+  min-max / min-sum attacks.
 """
 
 from repro.attacks.base import Attack, AttackContext
@@ -15,6 +17,9 @@ from repro.attacks.reversed_gradient import ReversedGradientAttack
 from repro.attacks.constant import ConstantAttack
 from repro.attacks.alie import ALIEAttack, alie_z_max
 from repro.attacks.noise import GaussianNoiseAttack, UniformRandomAttack
+from repro.attacks.inner_product import InnerProductManipulationAttack
+from repro.attacks.sign_flip import SignFlipAttack
+from repro.attacks.adaptive import FangAdaptiveAttack, MinMaxAttack, MinSumAttack
 from repro.attacks.selection import (
     ByzantineSelector,
     FixedSelector,
@@ -37,6 +42,11 @@ __all__ = [
     "alie_z_max",
     "GaussianNoiseAttack",
     "UniformRandomAttack",
+    "InnerProductManipulationAttack",
+    "SignFlipAttack",
+    "FangAdaptiveAttack",
+    "MinMaxAttack",
+    "MinSumAttack",
     "ByzantineSelector",
     "FixedSelector",
     "RandomSelector",

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 from typing import Type
 
+from repro.attacks.adaptive import FangAdaptiveAttack, MinMaxAttack, MinSumAttack
 from repro.attacks.alie import ALIEAttack
 from repro.attacks.base import Attack
 from repro.attacks.constant import ConstantAttack
+from repro.attacks.inner_product import InnerProductManipulationAttack
 from repro.attacks.noise import GaussianNoiseAttack, UniformRandomAttack
 from repro.attacks.reversed_gradient import ReversedGradientAttack
+from repro.attacks.sign_flip import SignFlipAttack
 from repro.exceptions import ConfigurationError
 
 __all__ = ["register_attack", "get_attack", "create_attack", "available_attacks"]
@@ -20,7 +23,10 @@ def register_attack(name: str, cls: Type[Attack], overwrite: bool = False) -> No
     """Register an attack class under ``name``."""
     key = name.lower()
     if key in _REGISTRY and not overwrite:
-        raise ConfigurationError(f"attack {name!r} is already registered")
+        raise ConfigurationError(
+            f"attack {name!r} is already registered "
+            f"(as {_REGISTRY[key].__name__}); pass overwrite=True to replace it"
+        )
     if not issubclass(cls, Attack):
         raise ConfigurationError(
             f"{cls!r} does not subclass Attack and cannot be registered"
@@ -54,5 +60,10 @@ for _name, _cls in (
     ("reversed_gradient", ReversedGradientAttack),
     ("gaussian_noise", GaussianNoiseAttack),
     ("uniform_random", UniformRandomAttack),
+    ("inner_product", InnerProductManipulationAttack),
+    ("sign_flip", SignFlipAttack),
+    ("fang", FangAdaptiveAttack),
+    ("min_max", MinMaxAttack),
+    ("min_sum", MinSumAttack),
 ):
     register_attack(_name, _cls)

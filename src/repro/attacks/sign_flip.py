@@ -1,0 +1,58 @@
+"""Sign-flip collusion (Li et al., 2019; Karimireddy et al., 2021).
+
+All Byzantine workers agree on a vector pointing against the sign of the
+honest mean with a fixed per-coordinate magnitude.  Unlike the reversed
+gradient the payload does not shrink as training converges, and unlike the
+constant attack it adapts its direction to the current honest update —
+against sign-based aggregation (signSGD) every colluding vote pushes each
+coordinate's majority toward the wrong sign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.exceptions import AttackError
+
+__all__ = ["SignFlipAttack"]
+
+
+class SignFlipAttack(Attack):
+    """Collusive ``−magnitude·sign(mean(honest))`` payload.
+
+    Parameters
+    ----------
+    magnitude:
+        Per-coordinate magnitude of the flipped vector.  Coordinates whose
+        honest mean is exactly zero are pushed in the negative direction so
+        the payload never contains zeros.
+    """
+
+    attack_name = "sign_flip"
+
+    def __init__(self, magnitude: float = 1.0) -> None:
+        if not np.isfinite(magnitude) or magnitude <= 0:
+            raise AttackError(
+                f"magnitude must be positive and finite, got {magnitude}"
+            )
+        self.magnitude = float(magnitude)
+        self._crafted: np.ndarray | None = None
+
+    def prepare(self, context: AttackContext) -> None:
+        mean = context.stacked_honest_gradients().mean(axis=0)
+        # sign(µ) with sign(0) := +1, so the payload is ±magnitude everywhere.
+        flipped = np.where(mean >= 0.0, -self.magnitude, self.magnitude)
+        self._crafted = flipped.astype(np.float64, copy=False)
+
+    def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
+        if self._crafted is None:
+            raise AttackError("prepare() was not called before craft()")
+        return self._crafted.copy()
+
+    def apply_tensor(self, context: AttackContext, tensor) -> None:
+        if context.num_byzantine == 0:
+            return
+        self.prepare(context)
+        files, slots = np.nonzero(tensor.byzantine_mask)
+        tensor.write_slots(files, slots, self._crafted)

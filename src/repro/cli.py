@@ -356,6 +356,11 @@ def _run_scenario_cmd(args: argparse.Namespace) -> str:
                 if spec.topology.q_root:
                     parts.append(f"q_root={spec.topology.q_root}")
                 notes.append(f"topology: {', '.join(parts)}")
+            if spec.data.partition is not None:
+                partition = spec.data.partition
+                notes.append(
+                    f"non-iid: {partition.kind}, alpha={partition.alpha:g}"
+                )
             suffix = f" [{'; '.join(notes)}]" if notes else ""
             lines.append(f"  {name}: {spec.description}{suffix}")
         lines.append("")

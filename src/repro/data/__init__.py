@@ -12,7 +12,15 @@ from repro.data.synthetic import (
     make_gaussian_mixture,
     make_spirals,
 )
-from repro.data.batching import BatchSampler, partition_batch_into_files
+from repro.data.batching import (
+    BatchSampler,
+    ShardedBatchSampler,
+    build_file_partition,
+    dirichlet_label_partition,
+    partition_batch_into_files,
+    partition_digest,
+    quantity_skew_partition,
+)
 
 __all__ = [
     "Dataset",
@@ -21,5 +29,10 @@ __all__ = [
     "make_gaussian_mixture",
     "make_spirals",
     "BatchSampler",
+    "ShardedBatchSampler",
+    "build_file_partition",
+    "dirichlet_label_partition",
     "partition_batch_into_files",
+    "partition_digest",
+    "quantity_skew_partition",
 ]

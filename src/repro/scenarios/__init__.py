@@ -26,6 +26,7 @@ from repro.scenarios.spec import (
     DataSpec,
     FaultSpec,
     ModelSpec,
+    PartitionSpec,
     PipelineSpec,
     RuntimeSpec,
     ScenarioSpec,
@@ -41,6 +42,7 @@ __all__ = [
     "DataSpec",
     "FaultSpec",
     "ModelSpec",
+    "PartitionSpec",
     "PipelineSpec",
     "RuntimeSpec",
     "ScenarioSpec",

@@ -7,9 +7,13 @@ and a handful of training rounds.  Jointly the matrix covers
 * **schemes** — MOLS (K=15), Ramanujan Case 2 (K=25), FRC/DETOX, FRC/DRACO
   and the no-redundancy baseline;
 * **attacks** — ALIE, constant, reversed gradient, Gaussian noise, uniform
-  random;
+  random, plus the adaptive zoo: inner-product manipulation, sign-flip
+  collusion, Fang-style aggregator-aware payloads (median / trimmed-mean /
+  Krum) and the AGR-agnostic min-max / min-sum attacks;
 * **adversary schedules** — static, ramping ``q``, and a rotating
   compromised window;
+* **data partitions** — the paper's IID batching (default) and non-IID
+  file shards (Dirichlet label skew, quantity skew);
 * **faults** — exponential/fixed stragglers (with and without timeouts),
   crash-stop churn, and message corruption (zero/scale/noise);
 * **compression** — top-k and sign uplink compression;
@@ -401,6 +405,111 @@ def _catalog() -> dict[str, dict[str, Any]]:
                     "schedule": {"kind": "static", "q": 2}},
             topology={"groups": 5},
             description="DETOX over 5 groups with coordinate-blockwise (block=4) vote kernels",
+        ),
+        # -- Adversary zoo (adaptive / collusive families) ------------------
+        _spec(
+            "mols-ipm-omniscient",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "inner_product", "params": {"epsilon": 0.5},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 3}},
+            description="Inner-product manipulation: collusive -eps*mean payload",
+        ),
+        _spec(
+            "mols-signflip-rotating",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "sign_flip", "params": {"magnitude": 2.0},
+                    "selection": "rotating",
+                    "schedule": {"kind": "rotating", "q": 3, "period": 1, "stride": 2}},
+            description="Sign-flip collusion from a rotating compromised window",
+        ),
+        _spec(
+            "mols-fang-median",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "fang", "params": {"defense": "median"},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 4}},
+            description="Fang adaptive attack optimized against the median defense it faces",
+        ),
+        _spec(
+            "ramanujan-fang-trimmed-mean",
+            _RAMANUJAN,
+            {"kind": "byzshield", "aggregator": "trimmed_mean",
+             "aggregator_params": {"trim": 3}},
+            attack={"name": "fang", "params": {"defense": "trimmed_mean", "trim": 3},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 5}},
+            description="Aggregator-aware Fang payload vs the K=25 trimmed-mean stage",
+        ),
+        _spec(
+            "vanilla-fang-krum",
+            _BASELINE,
+            {"kind": "vanilla", "aggregator": "krum",
+             "aggregator_params": {"num_byzantine": 2}},
+            attack={"name": "fang", "params": {"defense": "krum"},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            description="Fang Krum attack: largest lambda whose payload Krum still selects",
+        ),
+        _spec(
+            "mols-minmax-unit",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "min_max", "params": {"direction": "unit"},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 3}},
+            description="AGR-agnostic min-max: furthest payload within the honest spread",
+        ),
+        _spec(
+            "ramanujan-minsum-std",
+            _RAMANUJAN,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "min_sum", "params": {"direction": "std"},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "ramping", "q": 1, "q_end": 5, "period": 1}},
+            description="Min-sum deviation along the honest std axis, q ramping 1 -> 5",
+        ),
+        # -- Non-IID partitions (label / quantity skew) ---------------------
+        _spec(
+            "mols-alie-dirichlet03",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "alie", "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 2}},
+            data={"kind": "gaussian", "num_train": 300, "num_test": 100,
+                  "num_classes": 4, "dim": 12, "separation": 3.0,
+                  "partition": {"kind": "dirichlet", "alpha": 0.3}},
+            description="Omniscient ALIE over strongly label-skewed (alpha=0.3) file shards",
+        ),
+        _spec(
+            "ramanujan-signflip-quantity-skew",
+            _RAMANUJAN,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "sign_flip", "params": {"magnitude": 2.0},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 3}},
+            data={"kind": "gaussian", "num_train": 300, "num_test": 100,
+                  "num_classes": 4, "dim": 12, "separation": 3.0,
+                  "partition": {"kind": "quantity_skew", "alpha": 0.5}},
+            description="Sign-flip collusion while file shard sizes follow a Dirichlet draw",
+        ),
+        _spec(
+            "mols-fang-dirichlet-faults",
+            _MOLS,
+            _BYZSHIELD_MEDIAN,
+            attack={"name": "fang", "params": {"defense": "median"},
+                    "selection": "omniscient",
+                    "schedule": {"kind": "static", "q": 3}},
+            faults=[{"kind": "stragglers",
+                     "params": {"count": 2, "delay_model": "fixed", "delay": 0.3}},
+                    {"kind": "dropout", "params": {"probability": 0.1}}],
+            data={"kind": "gaussian", "num_train": 300, "num_test": 100,
+                  "num_classes": 4, "dim": 12, "separation": 3.0,
+                  "partition": {"kind": "dirichlet", "alpha": 0.5}},
+            description="Adaptive Fang attack on label-skewed shards under stragglers and churn",
         ),
     ]
     catalog: dict[str, dict[str, Any]] = {}

@@ -45,12 +45,14 @@ from repro.core.pipelines import (
     DracoPipeline,
     VanillaPipeline,
 )
+from repro.data.batching import build_file_partition
 from repro.data.datasets import Dataset, train_test_split
 from repro.data.synthetic import make_gaussian_mixture, make_synthetic_images
 from repro.exceptions import ConfigurationError
 from repro.graphs.bipartite import BipartiteAssignment
 from repro.nn.models import build_mlp
 from repro.scenarios.spec import FaultSpec, ScenarioSpec
+from repro.utils.rng import derive_seed
 from repro.scenarios.trace import RoundTrace, RunTrace, array_digest, hex_float
 from repro.training.config import TrainingConfig
 from repro.training.gradients import ModelGradientComputer
@@ -203,6 +205,28 @@ class ScenarioRunner:
             dataset, test_fraction=data.num_test / total, seed=self.spec.seed + 1
         )
 
+    def _build_file_partition(
+        self, assignment: BipartiteAssignment, train_dataset: Dataset
+    ):
+        """Non-IID shards for the trainer, or ``None`` for the IID path.
+
+        The partition seed is derived from the scenario seed and the
+        partition kind, so it is decoupled from the batch-sampling and
+        model-init streams — changing the skew kind re-deals the shards
+        without perturbing any other randomness.
+        """
+        section = self.spec.data.partition
+        if section is None:
+            return None
+        return build_file_partition(
+            train_dataset,
+            assignment.num_files,
+            section.kind,
+            alpha=section.alpha,
+            seed=derive_seed(self.spec.seed, "partition", section.kind),
+            min_per_shard=section.min_per_shard,
+        )
+
     def _build_adversary(self) -> tuple[Attack | None, ScheduledSelector | None]:
         section = self.spec.attack
         if section is None:
@@ -292,6 +316,7 @@ class ScenarioRunner:
             config=config,
             label=spec.name,
             round_observer=round_observer,
+            file_partition=self._build_file_partition(assignment, train_dataset),
         )
 
     # -- execution -----------------------------------------------------------

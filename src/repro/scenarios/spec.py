@@ -29,6 +29,7 @@ from repro.exceptions import ConfigurationError
 __all__ = [
     "ClusterSpec",
     "PipelineSpec",
+    "PartitionSpec",
     "DataSpec",
     "ModelSpec",
     "TrainingSpec",
@@ -146,8 +147,62 @@ class PipelineSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """Non-IID file partition (see :mod:`repro.data.batching`).
+
+    ``kind`` is ``"dirichlet"`` (label skew, Hsu et al. 2019) or
+    ``"quantity_skew"`` (Dirichlet shard sizes); ``alpha`` is the Dirichlet
+    concentration (small = strong skew) and ``min_per_shard`` the floor
+    every file's shard is topped up to.  Scenarios without a partition run
+    the paper's IID batching and serialize no ``partition`` key, so adding
+    this section changed no existing spec digest.
+    """
+
+    kind: str = "dirichlet"
+    alpha: float = 0.5
+    min_per_shard: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dirichlet", "quantity_skew"):
+            raise ConfigurationError(
+                f"unknown partition kind {self.kind!r}; expected 'dirichlet' "
+                "or 'quantity_skew'"
+            )
+        if not self.alpha > 0:  # also NaN
+            raise ConfigurationError(
+                f"partition alpha must be positive, got {self.alpha}"
+            )
+        if self.min_per_shard < 0:
+            raise ConfigurationError(
+                f"partition min_per_shard must be non-negative, got "
+                f"{self.min_per_shard}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartitionSpec":
+        _check_keys("data.partition", data, ("kind", "alpha", "min_per_shard"))
+        defaults = cls()
+        return cls(
+            kind=str(data.get("kind", defaults.kind)),
+            alpha=float(data.get("alpha", defaults.alpha)),
+            min_per_shard=int(data.get("min_per_shard", defaults.min_per_shard)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "alpha": self.alpha}
+        if self.min_per_shard != 1:
+            out["min_per_shard"] = self.min_per_shard
+        return out
+
+
+@dataclass(frozen=True)
 class DataSpec:
-    """Synthetic dataset parameters (Gaussian mixture or synthetic images)."""
+    """Synthetic dataset parameters (Gaussian mixture or synthetic images).
+
+    ``partition`` optionally shards the training set non-IID across files;
+    ``None`` (default, omitted from the canonical dict) keeps the paper's
+    IID batching and every pre-existing spec digest.
+    """
 
     kind: str = "gaussian"
     num_train: int = 300
@@ -157,6 +212,7 @@ class DataSpec:
     separation: float = 3.0
     image_size: int = 8
     channels: int = 3
+    partition: PartitionSpec | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("gaussian", "images"):
@@ -181,9 +237,11 @@ class DataSpec:
                 "separation",
                 "image_size",
                 "channels",
+                "partition",
             ),
         )
         defaults = cls()
+        partition = data.get("partition")
         return cls(
             kind=str(data.get("kind", defaults.kind)),
             num_train=int(data.get("num_train", defaults.num_train)),
@@ -193,10 +251,25 @@ class DataSpec:
             separation=float(data.get("separation", defaults.separation)),
             image_size=int(data.get("image_size", defaults.image_size)),
             channels=int(data.get("channels", defaults.channels)),
+            partition=None if partition is None else PartitionSpec.from_dict(partition),
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return dataclasses.asdict(self)
+        out = {
+            "kind": self.kind,
+            "num_train": self.num_train,
+            "num_test": self.num_test,
+            "num_classes": self.num_classes,
+            "dim": self.dim,
+            "separation": self.separation,
+            "image_size": self.image_size,
+            "channels": self.channels,
+        }
+        if self.partition is not None:
+            # IID scenarios serialize no partition key, keeping every
+            # pre-existing spec digest (and its golden trace) intact.
+            out["partition"] = self.partition.to_dict()
+        return out
 
 
 @dataclass(frozen=True)

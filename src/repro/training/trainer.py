@@ -22,7 +22,11 @@ import numpy as np
 from repro.cluster.server import ParameterServer
 from repro.cluster.simulator import TrainingCluster
 from repro.core.pipelines import AggregationPipeline
-from repro.data.batching import BatchSampler, partition_batch_into_files
+from repro.data.batching import (
+    BatchSampler,
+    ShardedBatchSampler,
+    partition_batch_into_files,
+)
 from repro.data.datasets import Dataset
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.metrics import evaluate_model
@@ -61,6 +65,14 @@ class DistributedTrainer:
         ``observer(iteration, round_result, aggregate, server)``; the
         scenario engine uses it to record per-round traces without the
         trainer knowing anything about tracing.
+    file_partition:
+        Optional list of ``f`` shard index arrays (one per file, from
+        :func:`repro.data.batching.build_file_partition`).  When given,
+        every file's batch slice is drawn from its own shard through a
+        :class:`~repro.data.batching.ShardedBatchSampler` — non-IID
+        training.  ``None`` (default) keeps the paper's IID path, batching
+        through the classic :class:`~repro.data.batching.BatchSampler`
+        bit-identically to before this option existed.
     """
 
     def __init__(
@@ -74,6 +86,7 @@ class DistributedTrainer:
         label: str = "run",
         use_tensor_path: bool = True,
         round_observer=None,
+        file_partition: "list[np.ndarray] | None" = None,
     ) -> None:
         assignment = cluster.assignment
         if config.batch_size % assignment.num_files != 0:
@@ -102,15 +115,32 @@ class DistributedTrainer:
             pipeline=pipeline,
             optimizer=optimizer,
         )
-        self.sampler = BatchSampler(
-            dataset=train_dataset, batch_size=config.batch_size, seed=config.seed
-        )
+        if file_partition is not None:
+            if len(file_partition) != assignment.num_files:
+                raise ConfigurationError(
+                    f"file_partition has {len(file_partition)} shards but the "
+                    f"assignment has f={assignment.num_files} files"
+                )
+            self.sampler = ShardedBatchSampler(
+                dataset=train_dataset,
+                batch_size=config.batch_size,
+                shards=file_partition,
+                seed=config.seed,
+            )
+        else:
+            self.sampler = BatchSampler(
+                dataset=train_dataset, batch_size=config.batch_size, seed=config.seed
+            )
 
     # -- single iteration -------------------------------------------------------
-    def _file_data(self, batch_indices: np.ndarray) -> dict[int, tuple[np.ndarray, np.ndarray]]:
-        files = partition_batch_into_files(
-            batch_indices, self.cluster.assignment.num_files
+    def _next_file_indices(self) -> list[np.ndarray]:
+        if isinstance(self.sampler, ShardedBatchSampler):
+            return self.sampler.next_batch_files()
+        return partition_batch_into_files(
+            self.sampler.next_batch(), self.cluster.assignment.num_files
         )
+
+    def _file_data(self, files: "list[np.ndarray]") -> dict[int, tuple[np.ndarray, np.ndarray]]:
         return {
             index: self.sampler.batch_data(file_indices)
             for index, file_indices in enumerate(files)
@@ -119,7 +149,7 @@ class DistributedTrainer:
     def run_iteration(self, iteration: int) -> IterationRecord:
         """Execute one synchronous iteration and return its metrics."""
         params = self.server.broadcast()
-        file_data = self._file_data(self.sampler.next_batch())
+        file_data = self._file_data(self._next_file_indices())
         learning_rate = self.server.optimizer.schedule.rate(self.server.optimizer.iteration)
         if self.use_tensor_path:
             round_result = self.cluster.run_round_tensor(params, file_data, iteration)

@@ -405,7 +405,7 @@ def report_speedups(results: dict) -> None:
     cow32 = results["dtype_float32_cow_round_f25_r5_d11k"]["min_s"]
     dense32 = results["dtype_float32_materialized_round_f25_r5_d11k"]["min_s"]
     print(
-        f"copy-on-write replication speedup vs materialized (float32): "
+        "copy-on-write replication speedup vs materialized (float32): "
         f"{dense32 / cow32:.2f}x"
     )
     flat = results["blockwise_vote_flat_mono_f16_r64_d20k"]["min_s"]

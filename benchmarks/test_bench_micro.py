@@ -14,12 +14,12 @@ import pytest
 
 from repro.aggregation.bulyan import BulyanAggregator
 from repro.aggregation.krum import MultiKrumAggregator
-from repro.aggregation.median import CoordinateWiseMedian
 from repro.aggregation.majority import (
     _reference_exact_majority,
     majority_vote,
     majority_vote_tensor,
 )
+from repro.aggregation.median import CoordinateWiseMedian
 from repro.assignment.mols import MOLSAssignment
 from repro.assignment.ramanujan import RamanujanAssignment
 from repro.core.distortion import max_distortion_exhaustive, max_distortion_local_search
@@ -135,7 +135,9 @@ def test_stacked_gradient_engine_speedup_at_paper_scale():
     looped engine at (f=25, mlp, d~=11k) — the paper's K=25 regime with
     small equal-size batch slices.  Interleaved min-of-N timing with retries,
     mirroring the majority-vote gate above."""
-    make_model = lambda: build_mlp(100, 10, hidden=(64, 64), seed=0)
+    def make_model():
+        return build_mlp(100, 10, hidden=(64, 64), seed=0)
+
     rng = np.random.default_rng(11)
     files = [(rng.standard_normal((8, 100)), rng.integers(0, 10, 8)) for _ in range(25)]
     looped = ModelGradientComputer(make_model(), engine="looped")

@@ -20,14 +20,6 @@ See ``examples/`` for end-to-end training under attack and ``benchmarks/``
 for the scripts regenerating every table and figure of the paper.
 """
 
-from repro.assignment import (
-    AssignmentScheme,
-    BaselineAssignment,
-    FRCAssignment,
-    MOLSAssignment,
-    RamanujanAssignment,
-    RandomAssignment,
-)
 from repro.aggregation import (
     Aggregator,
     BulyanAggregator,
@@ -39,6 +31,14 @@ from repro.aggregation import (
     MultiKrumAggregator,
     SignSGDMajorityAggregator,
     TrimmedMeanAggregator,
+)
+from repro.assignment import (
+    AssignmentScheme,
+    BaselineAssignment,
+    FRCAssignment,
+    MOLSAssignment,
+    RamanujanAssignment,
+    RandomAssignment,
 )
 from repro.attacks import (
     ALIEAttack,

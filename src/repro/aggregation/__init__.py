@@ -11,27 +11,27 @@ They are used in two places:
   ``K`` worker gradients.
 """
 
+from repro.aggregation.auror import AurorAggregator
 from repro.aggregation.base import Aggregator
-from repro.aggregation.mean import MeanAggregator
-from repro.aggregation.median import CoordinateWiseMedian
-from repro.aggregation.trimmed_mean import TrimmedMeanAggregator
-from repro.aggregation.median_of_means import MedianOfMeansAggregator
-from repro.aggregation.krum import KrumAggregator, MultiKrumAggregator
 from repro.aggregation.bulyan import BulyanAggregator
 from repro.aggregation.geometric_median import GeometricMedianAggregator
-from repro.aggregation.sign_sgd import SignSGDMajorityAggregator
-from repro.aggregation.auror import AurorAggregator
+from repro.aggregation.krum import KrumAggregator, MultiKrumAggregator
 from repro.aggregation.majority import (
     MajorityVote,
     majority_vote,
     majority_vote_tensor,
 )
+from repro.aggregation.mean import MeanAggregator
+from repro.aggregation.median import CoordinateWiseMedian
+from repro.aggregation.median_of_means import MedianOfMeansAggregator
 from repro.aggregation.registry import (
     available_aggregators,
     create_aggregator,
     get_aggregator,
     register_aggregator,
 )
+from repro.aggregation.sign_sgd import SignSGDMajorityAggregator
+from repro.aggregation.trimmed_mean import TrimmedMeanAggregator
 
 __all__ = [
     "Aggregator",

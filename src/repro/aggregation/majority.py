@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.backend import bit_view_dtype, ensure_float
 from repro.exceptions import AggregationError
 from repro.utils.arrays import block_ranges, stack_vectors
+from repro.utils.rng import as_generator
 
 __all__ = [
     "majority_vote",
@@ -118,7 +119,7 @@ _HASH_WEIGHTS: dict[int, np.ndarray] = {}
 def _hash_weights(d: int) -> np.ndarray:
     weights = _HASH_WEIGHTS.get(d)
     if weights is None:
-        rng = np.random.default_rng(0xB125_517D)
+        rng = as_generator(0xB125_517D)
         weights = rng.integers(1, 2**63, size=d, dtype=np.uint64) | np.uint64(1)
         _HASH_WEIGHTS[d] = weights
     return weights
@@ -415,7 +416,9 @@ def majority_vote_votetensor(
     block_size = validate_block_size(block_size)
     if not getattr(tensor, "is_lazy", False) or tolerance != 0.0:
         return majority_vote_tensor(
-            tensor.values, tolerance=tolerance, block_size=block_size
+            tensor.values,  # repro-lint: disable=COW-001 (dense fallback: .values is a no-copy view for non-lazy tensors)
+            tolerance=tolerance,
+            block_size=block_size,
         )
     f, r, d = tensor.shape
     if r == 0:

@@ -12,7 +12,6 @@ import numpy as np
 
 from repro.aggregation.base import Aggregator
 from repro.aggregation.majority import validate_block_size
-from repro.exceptions import AggregationError
 from repro.utils.arrays import block_ranges
 from repro.utils.validation import check_positive_int
 

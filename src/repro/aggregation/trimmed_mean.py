@@ -15,7 +15,6 @@ from repro.aggregation.base import Aggregator
 from repro.aggregation.majority import validate_block_size
 from repro.exceptions import AggregationError
 from repro.utils.arrays import block_ranges
-from repro.utils.validation import check_positive_int
 
 __all__ = ["TrimmedMeanAggregator"]
 

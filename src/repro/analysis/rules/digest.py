@@ -1,0 +1,190 @@
+"""DIGEST-001: spec emitters omit absence-valued fields from canonical dicts.
+
+Scenario and campaign digests are sha256 hashes of the canonical dict form.
+Every section added after the golden traces were recorded (``runtime``,
+``topology``, ``partition``, ``dtype``, ...) therefore serializes
+*omit-when-absent*: a field whose value still is its "absence" default
+(``None``, an empty container, ``False``, ``""``) must not appear in the
+emitted dict, or adding the feature would have silently re-keyed every
+pre-existing digest and orphaned its golden trace.
+
+This rule checks the convention structurally in ``spec.py`` modules: inside
+a dataclass's ``to_dict``, a field carrying an absence default must not be
+emitted unconditionally — it must sit under an ``if``, or (for ``None`` and
+empty containers) inside a ``_prune(...)`` call, and ``dataclasses.asdict``
+is rejected outright for classes with such fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectContext
+from repro.analysis.rules.base import Rule
+
+__all__ = ["DigestStabilityRule"]
+
+#: default_factory callables producing empty (prunable) containers
+_EMPTY_FACTORIES = frozenset({"dict", "list", "tuple", "set", "frozenset"})
+
+
+def _absence_kind(default: ast.expr) -> str | None:
+    """Classify a field default: 'prunable' (None/empty container — dropped
+    by ``_prune``), 'bare' (False/"" — survives ``_prune``), or None (a real
+    value; unconditional emission is fine)."""
+    if isinstance(default, ast.Constant):
+        if default.value is None:
+            return "prunable"
+        if default.value is False or default.value == "":
+            return "bare"
+        return None
+    if isinstance(default, (ast.Tuple, ast.List, ast.Set)) and not default.elts:
+        return "prunable"
+    if isinstance(default, ast.Dict) and not default.keys:
+        return "prunable"
+    if isinstance(default, ast.Call):
+        func = default.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name == "field":
+            for keyword in default.keywords:
+                if keyword.arg == "default":
+                    return _absence_kind(keyword.value)
+                if keyword.arg == "default_factory":
+                    factory = keyword.value
+                    if (
+                        isinstance(factory, ast.Name)
+                        and factory.id in _EMPTY_FACTORIES
+                    ):
+                        return "prunable"
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else getattr(target, "id", "")
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _absence_fields(node: ast.ClassDef) -> dict[str, str]:
+    """Field name -> absence kind, for fields with absence defaults."""
+    fields: dict[str, str] = {}
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.value is not None
+        ):
+            kind = _absence_kind(stmt.value)
+            if kind is not None:
+                fields[stmt.target.id] = kind
+    return fields
+
+
+class DigestStabilityRule(Rule):
+    rule_id = "DIGEST-001"
+    invariant = (
+        "spec to_dict emitters guard every absence-default field with "
+        "omit-when-default (an if statement, or _prune for None/empty "
+        "containers) so canonical dicts — and the digests golden traces pin "
+        "— never change when a new optional section ships"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        if not module.relpath.endswith("spec.py"):
+            return
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                fields = _absence_fields(node)
+                if not fields:
+                    continue
+                for stmt in node.body:
+                    if isinstance(stmt, ast.FunctionDef) and stmt.name == "to_dict":
+                        yield from self._check_to_dict(module, node.name, stmt, fields)
+
+    def _check_to_dict(
+        self,
+        module: ModuleInfo,
+        class_name: str,
+        func: ast.FunctionDef,
+        fields: dict[str, str],
+    ) -> Iterator[Finding]:
+        pruned = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "_prune"
+            for node in ast.walk(func)
+        )
+        for node, guarded in _walk_guarded(func.body):
+            if guarded:
+                continue
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and key.value in fields:
+                        if pruned and fields[key.value] == "prunable":
+                            continue
+                        yield self._emit(module, key, class_name, str(key.value))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and target.slice.value in fields
+                    ):
+                        if pruned and fields[target.slice.value] == "prunable":
+                            continue
+                        yield self._emit(
+                            module, target, class_name, str(target.slice.value)
+                        )
+            elif isinstance(node, ast.Call):
+                name = (
+                    node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    else getattr(node.func, "id", "")
+                )
+                if name == "asdict":
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{class_name}.to_dict uses dataclasses.asdict, which "
+                        "emits absence-default field(s) "
+                        f"{sorted(fields)} unconditionally; build the dict "
+                        "explicitly with omit-when-default guards",
+                    )
+
+    def _emit(
+        self, module: ModuleInfo, node: ast.AST, class_name: str, field_name: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"{class_name}.to_dict emits field {field_name!r} unconditionally "
+            "although its default means 'absent'; omit-when-default keeps "
+            "pre-existing spec digests (and their golden traces) stable",
+        )
+
+
+def _walk_guarded(body: list[ast.stmt]) -> Iterator[tuple[ast.AST, bool]]:
+    """Yield every node under ``body`` with a flag: is it inside an if?"""
+
+    def visit(stmts: list[ast.stmt], guarded: bool) -> Iterator[tuple[ast.AST, bool]]:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                yield stmt.test, guarded
+                yield from visit(stmt.body, True)
+                yield from visit(stmt.orelse, True)
+            else:
+                for child in ast.walk(stmt):
+                    yield child, guarded
+
+    yield from visit(body, False)

@@ -1,0 +1,206 @@
+"""KERNEL-001: aggregation entry points never mutate their inputs.
+
+The aggregation kernels (``aggregation/``, the hierarchical vote in
+``cluster/topology.py``) are called with live references into the round's
+state — the VoteTensor's override store, the gradient workspace, cached
+slot matrices.  An in-place mutation (``votes += ...``, ``votes[...] =``,
+``np.foo(..., out=votes)``, ``votes.sort()``) would leak one pipeline's
+arithmetic into the next consumer of the same round and break replay
+bit-exactness in a way no local test sees.  Kernels therefore copy first
+and mutate the copy; this rule flags direct mutations of (aliases of)
+function parameters in public kernel functions and methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectContext
+from repro.analysis.rules.base import Rule, iter_functions, subscript_root
+
+__all__ = ["KernelPurityRule"]
+
+_SCOPE_PREFIXES = ("aggregation/",)
+_SCOPE_FILES = ("cluster/topology.py",)
+
+#: ndarray methods that mutate the receiver in place
+_MUTATING_METHODS = frozenset(
+    {"sort", "fill", "partition", "put", "itemset", "resize", "setflags", "setfield"}
+)
+
+#: call names that may return an alias of their array argument — a parameter
+#: fed through one of these stays "the caller's array" for this rule
+_ALIASING_CALLS = frozenset(
+    {
+        "asarray",
+        "ascontiguousarray",
+        "asanyarray",
+        "atleast_1d",
+        "atleast_2d",
+        "ensure_float",
+        "ravel",
+        "reshape",
+        "view",
+        "squeeze",
+    }
+)
+
+
+def _in_scope(relpath: str) -> bool:
+    return relpath.startswith(_SCOPE_PREFIXES) or relpath in _SCOPE_FILES
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class KernelPurityRule(Rule):
+    rule_id = "KERNEL-001"
+    invariant = (
+        "public aggregation kernels (aggregation/, cluster/topology.py) "
+        "never mutate their parameters in place — no augmented assignment, "
+        "slice assignment, out= targets or mutating ndarray methods on "
+        "arguments or their aliases"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        if not _in_scope(module.relpath):
+            return
+        assert module.tree is not None
+        for func, is_method in iter_functions(module.tree):
+            if func.name.startswith("_"):
+                continue
+            yield from self._check_function(module, func, is_method)
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_method: bool,
+    ) -> Iterator[Finding]:
+        args = func.args
+        names = [
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        if is_method and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        tracked = set(names)
+        if not tracked:
+            return
+        # One linear pass: maintain the alias set while scanning statements
+        # in source order (kernels are straight-line enough that this is
+        # exact in practice).
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                aliased = self._aliases_parameter(node.value, tracked)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if aliased:
+                            tracked.add(target.id)
+                        else:
+                            # Rebound to a fresh (non-aliasing) value: the
+                            # name no longer refers to the caller's array.
+                            tracked.discard(target.id)
+                yield from self._check_write_targets(module, func, node, tracked)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_aug(module, func, node, tracked)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, func, node, tracked)
+
+    @staticmethod
+    def _aliases_parameter(value: ast.expr, tracked: set[str]) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in tracked
+        if isinstance(value, ast.Call) and _call_name(value) in _ALIASING_CALLS:
+            roots = list(value.args)
+            if isinstance(value.func, ast.Attribute):
+                roots.append(value.func.value)
+            return any(
+                isinstance(root, ast.Name) and root.id in tracked for root in roots
+            )
+        return False
+
+    def _check_write_targets(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Assign,
+        tracked: set[str],
+    ) -> Iterator[Finding]:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                root = subscript_root(target)
+                if isinstance(root, ast.Name) and root.id in tracked:
+                    yield self.finding(
+                        module,
+                        target,
+                        f"kernel {func.name}() slice-assigns into parameter "
+                        f"{root.id!r}; copy first — callers hand kernels live "
+                        "round state",
+                    )
+
+    def _check_aug(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.AugAssign,
+        tracked: set[str],
+    ) -> Iterator[Finding]:
+        target = node.target
+        if isinstance(target, ast.Subscript):
+            root = subscript_root(target)
+            if isinstance(root, ast.Name) and root.id in tracked:
+                yield self.finding(
+                    module,
+                    node,
+                    f"kernel {func.name}() mutates parameter {root.id!r} via "
+                    "augmented slice assignment; copy first",
+                )
+        elif isinstance(target, ast.Name) and target.id in tracked:
+            yield self.finding(
+                module,
+                node,
+                f"kernel {func.name}() augments parameter {target.id!r} in "
+                "place; for ndarrays this mutates the caller's array — "
+                "copy first",
+            )
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Call,
+        tracked: set[str],
+    ) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg == "out":
+                root = subscript_root(keyword.value)
+                if isinstance(root, ast.Name) and root.id in tracked:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"kernel {func.name}() writes out= into parameter "
+                        f"{root.id!r}; allocate the output instead",
+                    )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in tracked
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"kernel {func.name}() calls .{node.func.attr}() on parameter "
+                f"{node.func.value.id!r}, mutating it in place; use the "
+                "copying form (np.sort / a fresh array)",
+            )

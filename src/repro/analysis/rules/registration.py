@@ -1,0 +1,110 @@
+"""REG-001: every pluggable subclass is wired into its dispatch point once.
+
+Scenario specs name attacks, aggregators and assignment schemes by registry
+key, and pipelines by kind; a concrete subclass that never reaches its
+dispatch table is dead weight that specs cannot reach (a half-landed
+feature), and one registered twice would make ``available_*()`` listings
+and overwrite protection lie.  This rule resolves the transitive subclass
+graph across the scanned tree and checks each concrete subclass of the
+four framework bases against its dispatch module:
+
+* ``Attack`` -> ``attacks/registry.py``
+* ``Aggregator`` -> ``aggregation/registry.py``
+* ``AssignmentScheme`` -> ``assignment/registry.py``
+* ``AggregationPipeline`` -> constructed in ``scenarios/runner.py``
+
+A root whose dispatch module is not part of the scan is skipped, so
+linting a single file never produces phantom "never registered" findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectContext
+from repro.analysis.rules.base import Rule
+
+__all__ = ["RegistrationRule"]
+
+#: framework base -> the registry module holding its dispatch table
+_REGISTRY_ROOTS = {
+    "Attack": "attacks/registry.py",
+    "Aggregator": "aggregation/registry.py",
+    "AssignmentScheme": "assignment/registry.py",
+}
+
+#: pipeline base -> the factory module that must construct every subclass
+_FACTORY_ROOTS = {"AggregationPipeline": "scenarios/runner.py"}
+
+
+class RegistrationRule(Rule):
+    rule_id = "REG-001"
+    invariant = (
+        "every concrete Attack / Aggregator / AssignmentScheme subclass "
+        "appears exactly once in its registry's dispatch table, and every "
+        "concrete AggregationPipeline is constructed by the scenario runner"
+    )
+
+    @staticmethod
+    def _exempt(info) -> bool:
+        # Abstract classes and private (underscore) shared bases are not
+        # pluggable surface; only public concrete subclasses must be wired.
+        return info.is_abstract or info.name.startswith("_")
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for root, registry in _REGISTRY_ROOTS.items():
+            if registry not in project.module_names:
+                continue
+            entries = project.registrations.get(registry, [])
+            counts: dict[str, int] = {}
+            for entry in entries:
+                counts[entry.class_name] = counts.get(entry.class_name, 0) + 1
+            for info in project.subclasses_of(root):
+                if info.relpath != module.relpath or self._exempt(info):
+                    continue
+                count = counts.get(info.name, 0)
+                if count == 0:
+                    yield Finding(
+                        path=str(module.path),
+                        line=info.line,
+                        col=0,
+                        rule=self.rule_id,
+                        message=(
+                            f"{info.name} subclasses {root} but is never "
+                            f"registered in {registry}; specs cannot name it"
+                        ),
+                    )
+                elif count > 1:
+                    yield Finding(
+                        path=str(module.path),
+                        line=info.line,
+                        col=0,
+                        rule=self.rule_id,
+                        message=(
+                            f"{info.name} is registered {count} times in "
+                            f"{registry}; each class is wired exactly once"
+                        ),
+                    )
+        for root, factory in _FACTORY_ROOTS.items():
+            if factory not in project.module_names:
+                continue
+            for info in project.subclasses_of(root):
+                if info.relpath != module.relpath or self._exempt(info):
+                    continue
+                references = project.name_references.get(info.name, [])
+                if factory not in references:
+                    yield Finding(
+                        path=str(module.path),
+                        line=info.line,
+                        col=0,
+                        rule=self.rule_id,
+                        message=(
+                            f"{info.name} subclasses {root} but is never "
+                            f"constructed in {factory}; scenario specs "
+                            "cannot reach it"
+                        ),
+                    )

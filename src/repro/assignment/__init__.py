@@ -16,11 +16,11 @@ Each scheme builds a :class:`repro.graphs.BipartiteAssignment`:
 """
 
 from repro.assignment.base import AssignmentScheme
+from repro.assignment.baseline import BaselineAssignment
+from repro.assignment.frc import FRCAssignment
 from repro.assignment.mols import MOLSAssignment
 from repro.assignment.ramanujan import RamanujanAssignment, ramanujan_biadjacency
-from repro.assignment.frc import FRCAssignment
 from repro.assignment.random_scheme import RandomAssignment
-from repro.assignment.baseline import BaselineAssignment
 from repro.assignment.registry import (
     available_schemes,
     get_scheme,

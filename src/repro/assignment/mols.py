@@ -16,7 +16,6 @@ Structural consequences used throughout the paper and verified by the tests:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.assignment.base import AssignmentScheme
 from repro.exceptions import ConfigurationError

@@ -8,7 +8,7 @@ Users can register their own schemes for ablations.
 
 from __future__ import annotations
 
-from typing import Callable, Type
+from typing import Type
 
 from repro.assignment.base import AssignmentScheme
 from repro.assignment.baseline import BaselineAssignment

@@ -12,26 +12,26 @@ Two orthogonal choices define the adversary of the paper:
   min-max / min-sum attacks.
 """
 
-from repro.attacks.base import Attack, AttackContext
-from repro.attacks.reversed_gradient import ReversedGradientAttack
-from repro.attacks.constant import ConstantAttack
-from repro.attacks.alie import ALIEAttack, alie_z_max
-from repro.attacks.noise import GaussianNoiseAttack, UniformRandomAttack
-from repro.attacks.inner_product import InnerProductManipulationAttack
-from repro.attacks.sign_flip import SignFlipAttack
 from repro.attacks.adaptive import FangAdaptiveAttack, MinMaxAttack, MinSumAttack
-from repro.attacks.selection import (
-    ByzantineSelector,
-    FixedSelector,
-    RandomSelector,
-    OmniscientSelector,
-)
+from repro.attacks.alie import ALIEAttack, alie_z_max
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.constant import ConstantAttack
+from repro.attacks.inner_product import InnerProductManipulationAttack
+from repro.attacks.noise import GaussianNoiseAttack, UniformRandomAttack
 from repro.attacks.registry import (
     available_attacks,
     create_attack,
     get_attack,
     register_attack,
 )
+from repro.attacks.reversed_gradient import ReversedGradientAttack
+from repro.attacks.selection import (
+    ByzantineSelector,
+    FixedSelector,
+    RandomSelector,
+    OmniscientSelector,
+)
+from repro.attacks.sign_flip import SignFlipAttack
 
 __all__ = [
     "Attack",

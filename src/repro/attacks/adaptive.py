@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
+from repro.core.backend import DEFAULT_DTYPE
 from repro.core.distortion import distorted_files
 from repro.exceptions import AttackError
 
@@ -141,7 +142,7 @@ class FangAdaptiveAttack(_CollusivePayloadAttack):
         self.rtol = float(rtol)
 
     def prepare(self, context: AttackContext) -> None:
-        honest = np.asarray(context.stacked_honest_gradients(), dtype=np.float64)
+        honest = np.asarray(context.stacked_honest_gradients(), dtype=DEFAULT_DTYPE)
         mu = honest.mean(axis=0)
         if context.num_byzantine == 0:
             self._crafted = mu.copy()
@@ -447,7 +448,7 @@ class _OptimizedDeviationAttack(_CollusivePayloadAttack):
         raise NotImplementedError
 
     def prepare(self, context: AttackContext) -> None:
-        honest = np.asarray(context.stacked_honest_gradients(), dtype=np.float64)
+        honest = np.asarray(context.stacked_honest_gradients(), dtype=DEFAULT_DTYPE)
         mu = honest.mean(axis=0)
         u = self._perturbation(honest, mu)
         # p − g_i = (µ − g_i) + γ·u → ||p − g_i||² = a_i + 2γ·b_i + γ²·c.

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.backend import ensure_float
 from repro.exceptions import AttackError
 from repro.graphs.bipartite import BipartiteAssignment
+from repro.utils.rng import as_generator
 
 __all__ = ["AttackContext", "Attack", "byzantine_write_order"]
 
@@ -75,7 +76,7 @@ class AttackContext:
     byzantine_workers: tuple[int, ...]
     honest_file_gradients: dict[int, np.ndarray]
     iteration: int = 0
-    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    rng: np.random.Generator = field(default_factory=lambda: as_generator(0))
     honest_matrix: np.ndarray | None = None
 
     @property

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
+from repro.core.backend import DEFAULT_DTYPE
 from repro.exceptions import AttackError
 
 __all__ = ["ConstantAttack"]
@@ -35,7 +36,7 @@ class ConstantAttack(Attack):
         self.value = float(value)
 
     def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
-        return np.full(context.gradient_dim, self.value, dtype=np.float64)
+        return np.full(context.gradient_dim, self.value, dtype=DEFAULT_DTYPE)
 
     def apply_tensor(self, context: AttackContext, tensor) -> None:
         if context.num_byzantine == 0:

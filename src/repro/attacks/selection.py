@@ -17,7 +17,6 @@ import numpy as np
 from repro.core.distortion import max_distortion
 from repro.exceptions import AttackError
 from repro.graphs.bipartite import BipartiteAssignment
-from repro.utils.rng import as_generator
 
 __all__ = [
     "ByzantineSelector",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
+from repro.core.backend import DEFAULT_DTYPE
 from repro.exceptions import AttackError
 
 __all__ = ["SignFlipAttack"]
@@ -43,7 +44,7 @@ class SignFlipAttack(Attack):
         mean = context.stacked_honest_gradients().mean(axis=0)
         # sign(µ) with sign(0) := +1, so the payload is ±magnitude everywhere.
         flipped = np.where(mean >= 0.0, -self.magnitude, self.magnitude)
-        self._crafted = flipped.astype(np.float64, copy=False)
+        self._crafted = flipped.astype(DEFAULT_DTYPE, copy=False)
 
     def craft(self, context: AttackContext, worker: int, file: int) -> np.ndarray:
         if self._crafted is None:

@@ -10,7 +10,7 @@ with the flat per-scenario summary table.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Sequence
 
 from repro.campaigns.executor import CampaignRunResult
 from repro.campaigns.spec import CampaignScenario, CampaignSpec

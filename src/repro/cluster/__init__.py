@@ -9,11 +9,11 @@ reproduced.
 """
 
 from repro.cluster.messages import GradientMessage, RoundResult, TensorRoundResult
-from repro.cluster.worker import WorkerPool
 from repro.cluster.server import ParameterServer
 from repro.cluster.simulator import TrainingCluster
 from repro.cluster.timing import CostModel, IterationTiming, estimate_iteration_timing
 from repro.cluster.topology import GroupTopology, hierarchical_majority_vote
+from repro.cluster.worker import WorkerPool
 
 __all__ = [
     "GradientMessage",

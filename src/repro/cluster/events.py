@@ -70,6 +70,9 @@ __all__ = [
 LATE_KIND = "late"
 """``FaultEvent.kind`` recorded for sent-but-rejected messages."""
 
+_TIME_DTYPE = np.dtype(np.float64)  # repro-lint: disable=DTYPE-001 (simulated clock is wall-time seconds, float64 regardless of the working gradient dtype)
+"""Dtype of every arrival/deadline array in the event simulation."""
+
 
 @dataclass(frozen=True)
 class AsyncRuntime:
@@ -173,7 +176,7 @@ def base_arrival_times(
     samples_per_file:
         ``(f,)`` per-file sample counts of this round's batch partition.
     """
-    samples = np.asarray(samples_per_file, dtype=np.float64).ravel()
+    samples = np.asarray(samples_per_file, dtype=_TIME_DTYPE).ravel()
     if samples.shape != (assignment.num_files,):
         raise ConfigurationError(
             f"samples_per_file has shape {samples.shape}, expected "
@@ -183,7 +186,7 @@ def base_arrival_times(
         dim * cost_model.network_per_float + cost_model.network_latency_per_message
     )
     workers = assignment.worker_slot_matrix()
-    arrivals = np.empty(workers.shape, dtype=np.float64)
+    arrivals = np.empty(workers.shape, dtype=_TIME_DTYPE)
     for w in range(assignment.num_workers):
         files = assignment.files_of_worker(w)
         compute = (
@@ -248,7 +251,7 @@ class EventDrivenRound:
         quorum configured every cell waits for all of its copies, which is
         exactly the flat behavior.
         """
-        arrivals = np.asarray(arrivals, dtype=np.float64)
+        arrivals = np.asarray(arrivals, dtype=_TIME_DTYPE)
         if arrivals.shape != tensor.workers.shape:
             raise ConfigurationError(
                 f"arrival matrix has shape {arrivals.shape}, expected "
@@ -295,8 +298,8 @@ class EventDrivenRound:
 
         counts = np.zeros(cell_quorum.size, dtype=np.int64)
         accepted = np.zeros((f, r), dtype=bool)
-        close_times = np.full(f, np.inf, dtype=np.float64)
-        cell_close_times = np.full(cell_quorum.size, np.inf, dtype=np.float64)
+        close_times = np.full(f, np.inf, dtype=_TIME_DTYPE)
+        cell_close_times = np.full(cell_quorum.size, np.inf, dtype=_TIME_DTYPE)
         late: list[FaultEvent] = []
         last_accept = 0.0
         deadline_cut = False

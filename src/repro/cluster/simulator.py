@@ -29,6 +29,7 @@ from repro.cluster.faults import (
 )
 from repro.cluster.messages import GradientMessage, RoundResult, TensorRoundResult
 from repro.cluster.worker import WorkerPool
+from repro.core.backend import DEFAULT_DTYPE
 from repro.core.distortion import distorted_files
 from repro.exceptions import TrainingError
 from repro.graphs.bipartite import BipartiteAssignment
@@ -307,7 +308,7 @@ class TrainingCluster:
         assert runtime is not None
         samples = np.array(
             [file_data[i][0].shape[0] for i in range(self.assignment.num_files)],
-            dtype=np.float64,
+            dtype=DEFAULT_DTYPE,
         )
         base = base_arrival_times(
             self.assignment, runtime.cost_model, tensor.dim, samples

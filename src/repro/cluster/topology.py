@@ -362,7 +362,7 @@ def hierarchical_majority_vote(
     # map to groups identically), so each (band, group) cell is rectangular.
     signatures, inverse = np.unique(slot_groups, axis=0, return_inverse=True)
     inverse = inverse.ravel()
-    dense_values = None if lazy else tensor.values
+    dense_values = None if lazy else tensor.values  # repro-lint: disable=COW-001 (dense dispatch: .values is a no-copy view for non-lazy tensors)
     for c in range(signatures.shape[0]):
         files = np.nonzero(inverse == c)[0]
         row = signatures[c]

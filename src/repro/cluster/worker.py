@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.backend import ensure_float
+from repro.core.backend import DEFAULT_DTYPE, ensure_float
 from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import TrainingError
 from repro.graphs.bipartite import BipartiteAssignment
@@ -118,7 +118,7 @@ class WorkerPool:
         if batched is not None:
             return batched(params, files)
         gradients: np.ndarray | None = None
-        losses = np.empty(len(files), dtype=np.float64)
+        losses = np.empty(len(files), dtype=DEFAULT_DTYPE)
         for i, (inputs, labels) in enumerate(files):
             gradient, loss = self.gradient_fn(params, inputs, labels)
             vector = ensure_float(gradient).ravel()
@@ -185,7 +185,7 @@ class WorkerPool:
             file_votes, honest, losses = self.honest_returns(params, file_data)
             f = self.assignment.num_files
             matrix = np.vstack([honest[i] for i in range(f)])
-            loss_vector = np.array([losses[i] for i in range(f)], dtype=np.float64)
+            loss_vector = np.array([losses[i] for i in range(f)], dtype=DEFAULT_DTYPE)
             tensor = VoteTensor.from_file_votes(self.assignment, file_votes)
             return tensor, matrix, loss_vector
         matrix, losses = self.compute_file_gradient_matrix(params, file_data)

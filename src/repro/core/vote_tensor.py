@@ -45,7 +45,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.backend import ensure_float, resolve_dtype
+from repro.core.backend import ensure_float
 from repro.exceptions import AggregationError, ConfigurationError
 from repro.graphs.bipartite import BipartiteAssignment
 

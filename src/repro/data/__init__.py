@@ -6,12 +6,6 @@ sampling, splitting every batch into ``f`` equally sized files, per-file
 gradient computation and aggregation.
 """
 
-from repro.data.datasets import Dataset, train_test_split
-from repro.data.synthetic import (
-    make_synthetic_images,
-    make_gaussian_mixture,
-    make_spirals,
-)
 from repro.data.batching import (
     BatchSampler,
     ShardedBatchSampler,
@@ -20,6 +14,12 @@ from repro.data.batching import (
     partition_batch_into_files,
     partition_digest,
     quantity_skew_partition,
+)
+from repro.data.datasets import Dataset, train_test_split
+from repro.data.synthetic import (
+    make_synthetic_images,
+    make_gaussian_mixture,
+    make_spirals,
 )
 
 __all__ = [

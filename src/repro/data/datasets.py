@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backend import DEFAULT_DTYPE
 from repro.exceptions import DataError
 from repro.utils.rng import as_generator
 
@@ -35,7 +36,7 @@ class Dataset:
     name: str = "dataset"
 
     def __post_init__(self) -> None:
-        inputs = np.asarray(self.inputs, dtype=np.float64)
+        inputs = np.asarray(self.inputs, dtype=DEFAULT_DTYPE)
         labels = np.asarray(self.labels, dtype=np.int64)
         if inputs.shape[0] != labels.shape[0]:
             raise DataError(

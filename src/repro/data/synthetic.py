@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import DEFAULT_DTYPE
 from repro.data.datasets import Dataset
 from repro.exceptions import DataError
 from repro.utils.rng import as_generator
@@ -85,7 +86,7 @@ def make_synthetic_images(
     )
     labels = np.arange(num_samples) % num_classes
     rng.shuffle(labels)
-    images = np.empty((num_samples, channels, image_size, image_size), dtype=np.float64)
+    images = np.empty((num_samples, channels, image_size, image_size), dtype=DEFAULT_DTYPE)
     for idx in range(num_samples):
         template = templates[labels[idx]]
         if max_shift > 0:

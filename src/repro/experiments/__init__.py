@@ -10,12 +10,10 @@
   paper, for side-by-side comparison in EXPERIMENTS.md and the benchmarks.
 """
 
-from repro.experiments.tables import (
-    generate_table3,
-    generate_table4,
-    generate_table5,
-    generate_table6,
-    generate_distortion_table,
+from repro.experiments import paper_reference
+from repro.experiments.ablations import (
+    assignment_structure_ablation,
+    aggregator_ablation,
 )
 from repro.experiments.accuracy import (
     FigureSpec,
@@ -24,14 +22,16 @@ from repro.experiments.accuracy import (
     available_figures,
     run_accuracy_figure,
 )
-from repro.experiments.timing import generate_figure12
 from repro.experiments.bounds import bound_tightness_table, claim2_verification_table
-from repro.experiments.ablations import (
-    assignment_structure_ablation,
-    aggregator_ablation,
-)
 from repro.experiments.report import format_rows, rows_to_csv
-from repro.experiments import paper_reference
+from repro.experiments.tables import (
+    generate_table3,
+    generate_table4,
+    generate_table5,
+    generate_table6,
+    generate_distortion_table,
+)
+from repro.experiments.timing import generate_figure12
 
 __all__ = [
     "generate_table3",

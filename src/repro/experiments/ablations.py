@@ -58,7 +58,6 @@ def assignment_structure_ablation(
         raise ConfigurationError("num_random_draws must be >= 1")
     mols = MOLSAssignment(load=load, replication=replication).assignment
     ramanujan = RamanujanAssignment(m=replication, s=load).assignment
-    frc = FRCAssignment(num_workers=load * replication, replication=replication).assignment
     rows: list[dict[str, float]] = []
     for q in q_values:
         random_eps = []

@@ -20,9 +20,8 @@ substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.aggregation.base import Aggregator
 from repro.aggregation.bulyan import BulyanAggregator
@@ -30,7 +29,6 @@ from repro.aggregation.krum import MultiKrumAggregator
 from repro.aggregation.median import CoordinateWiseMedian
 from repro.aggregation.median_of_means import MedianOfMeansAggregator
 from repro.aggregation.sign_sgd import SignSGDMajorityAggregator
-from repro.assignment.frc import FRCAssignment
 from repro.assignment.mols import MOLSAssignment
 from repro.assignment.ramanujan import RamanujanAssignment
 from repro.attacks.alie import ALIEAttack

@@ -6,13 +6,13 @@ squares built from the linear maps ``L_alpha(i, j) = alpha * i + j`` over that
 field, and families of mutually orthogonal Latin squares (MOLS).
 """
 
-from repro.fields.prime_field import PrimeField
 from repro.fields.latin_squares import (
     LatinSquare,
     are_orthogonal,
     mols_family,
     is_latin_square,
 )
+from repro.fields.prime_field import PrimeField
 
 __all__ = [
     "PrimeField",

@@ -11,7 +11,7 @@ uses for its worker-file assignment (Algorithm 2, Table 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

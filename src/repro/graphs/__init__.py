@@ -9,6 +9,13 @@ bounds of Lemma 1 / Claim 1 (paper Section 5.1).
 """
 
 from repro.graphs.bipartite import BipartiteAssignment
+from repro.graphs.expansion import (
+    neighborhood_lower_bound,
+    gamma_upper_bound,
+    distortion_fraction_upper_bound,
+    mols_epsilon_upper_bound,
+    ramanujan_case2_epsilon_upper_bound,
+)
 from repro.graphs.spectral import (
     normalized_biadjacency,
     gram_spectrum,
@@ -16,13 +23,6 @@ from repro.graphs.spectral import (
     spectral_gap,
     theoretical_mols_spectrum,
     theoretical_ramanujan_case2_spectrum,
-)
-from repro.graphs.expansion import (
-    neighborhood_lower_bound,
-    gamma_upper_bound,
-    distortion_fraction_upper_bound,
-    mols_epsilon_upper_bound,
-    ramanujan_case2_epsilon_upper_bound,
 )
 
 __all__ = [

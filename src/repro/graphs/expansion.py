@@ -14,7 +14,6 @@ Implements the chain of results in paper Sections 3 and 5.1:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.graphs.bipartite import BipartiteAssignment

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import DEFAULT_DTYPE
 from repro.exceptions import AssignmentError
 from repro.graphs.bipartite import BipartiteAssignment
 
@@ -36,7 +37,7 @@ def normalized_biadjacency(assignment: BipartiteAssignment) -> np.ndarray:
     """Return ``A = H / sqrt(dL * dR)`` for a biregular assignment."""
     dl = assignment.computational_load
     dr = assignment.replication
-    return assignment.biadjacency.astype(np.float64) / np.sqrt(dl * dr)
+    return assignment.biadjacency.astype(DEFAULT_DTYPE) / np.sqrt(dl * dr)
 
 
 def gram_spectrum(assignment: BipartiteAssignment) -> np.ndarray:
@@ -98,10 +99,10 @@ def spectrum_matches(
 ) -> bool:
     """Check that an observed eigenvalue array matches a (value, multiplicity) spec."""
     expanded = np.concatenate(
-        [np.full(mult, value, dtype=np.float64) for value, mult in expected]
+        [np.full(mult, value, dtype=DEFAULT_DTYPE) for value, mult in expected]
     )
     expanded = np.sort(expanded)[::-1]
-    observed = np.sort(np.asarray(observed, dtype=np.float64))[::-1]
+    observed = np.sort(np.asarray(observed, dtype=DEFAULT_DTYPE))[::-1]
     if observed.size != expanded.size:
         return False
     return bool(np.allclose(observed, expanded, atol=atol))

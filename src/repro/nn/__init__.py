@@ -21,9 +21,9 @@ from repro.nn.layers import (
     ResidualDenseBlock,
 )
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, MeanSquaredError
+from repro.nn.metrics import top1_accuracy, cross_entropy_loss
 from repro.nn.models import Sequential, build_mlp, build_cnn, build_resnet_lite
 from repro.nn.optim import SGD, LearningRateSchedule, StepDecaySchedule, ConstantSchedule
-from repro.nn.metrics import top1_accuracy, cross_entropy_loss
 
 __all__ = [
     "glorot_uniform",

@@ -39,13 +39,12 @@ per-file call order) and forces the engine's looped fallback.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
 
 import numpy as np
 
 from repro.core.backend import ensure_float, resolve_dtype
 from repro.exceptions import ConfigurationError
-from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
+from repro.nn.initializers import he_normal, zeros_init
 from repro.utils.rng import as_generator
 
 __all__ = [
@@ -431,7 +430,6 @@ class BatchNorm(Layer):
         grad_flat, _ = self._to_2d(np.asarray(grad_output, dtype=self.dtype))
         self.grads["gamma"] = (grad_flat * normalized).sum(axis=0)
         self.grads["beta"] = grad_flat.sum(axis=0)
-        n = grad_flat.shape[0]
         gamma = self.params["gamma"]
         if training:
             # Standard batch-norm backward through the batch statistics.
@@ -764,7 +762,6 @@ class MaxPool2D(Layer):
             raise ConfigurationError("backward called before forward on MaxPool2D layer")
         input_shape, mask = self._cache
         batch, channels, height, width = input_shape
-        p = self.pool_size
         grad = ensure_float(grad_output)[:, :, :, None, :, None]
         # Ties (equal maxima within a window) split the gradient evenly, which
         # keeps the backward pass a true subgradient.  The tie counts are cast

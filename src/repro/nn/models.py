@@ -9,7 +9,7 @@ references to sub-layer arrays stay consistent.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.nn.layers import (
     ReLU,
     ResidualDenseBlock,
 )
-from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.losses import Loss
 from repro.utils.rng import as_generator
 
 __all__ = ["Sequential", "build_mlp", "build_cnn", "build_resnet_lite"]

@@ -27,13 +27,13 @@ from repro.assignment.registry import create_scheme
 from repro.attacks.base import Attack
 from repro.attacks.registry import create_attack
 from repro.attacks.schedules import AdversarySchedule, ScheduledSelector
+from repro.cluster.events import AsyncRuntime
 from repro.cluster.faults import (
     DropoutInjector,
     FaultInjector,
     MessageCorruptionInjector,
     StragglerInjector,
 )
-from repro.cluster.events import AsyncRuntime
 from repro.cluster.simulator import TrainingCluster
 from repro.cluster.topology import GroupTopology
 from repro.cluster.worker import WorkerPool
@@ -52,12 +52,12 @@ from repro.exceptions import ConfigurationError
 from repro.graphs.bipartite import BipartiteAssignment
 from repro.nn.models import build_mlp
 from repro.scenarios.spec import FaultSpec, ScenarioSpec
-from repro.utils.rng import derive_seed
 from repro.scenarios.trace import RoundTrace, RunTrace, array_digest, hex_float
 from repro.training.config import TrainingConfig
 from repro.training.gradients import ModelGradientComputer
 from repro.training.history import TrainingHistory
 from repro.training.trainer import DistributedTrainer
+from repro.utils.rng import derive_seed
 
 __all__ = ["ScenarioResult", "ScenarioRunner", "run_scenario"]
 

@@ -6,15 +6,15 @@ and records the metrics the paper plots (top-1 test accuracy versus iteration,
 training loss, realized distortion fraction).
 """
 
-from repro.training.gradients import ModelGradientComputer
-from repro.training.config import TrainingConfig
-from repro.training.history import TrainingHistory, IterationRecord
-from repro.training.trainer import DistributedTrainer
 from repro.training.builders import (
     build_byzshield_trainer,
     build_detox_trainer,
     build_vanilla_trainer,
 )
+from repro.training.config import TrainingConfig
+from repro.training.gradients import ModelGradientComputer
+from repro.training.history import TrainingHistory, IterationRecord
+from repro.training.trainer import DistributedTrainer
 
 __all__ = [
     "ModelGradientComputer",

@@ -8,7 +8,6 @@ parameter server and training loop.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.aggregation.base import Aggregator
 from repro.aggregation.median import CoordinateWiseMedian

@@ -14,6 +14,7 @@ import pathlib
 import numpy as np
 
 from repro.cluster.server import ParameterServer
+from repro.core.backend import DEFAULT_DTYPE
 from repro.exceptions import TrainingError
 from repro.training.history import IterationRecord, TrainingHistory
 
@@ -37,7 +38,7 @@ def save_checkpoint(
         "params": server.params,
         "velocity": optimizer._velocity
         if optimizer._velocity is not None
-        else np.zeros(0, dtype=np.float64),
+        else np.zeros(0, dtype=DEFAULT_DTYPE),
     }
     metadata = {
         "iteration": server.iteration,
@@ -60,7 +61,7 @@ def save_checkpoint(
                 )
                 for r in history.records
             ],
-            dtype=np.float64,
+            dtype=DEFAULT_DTYPE,
         ).reshape(len(history.records), 6)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)

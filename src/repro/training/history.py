@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.backend import DEFAULT_DTYPE
 from repro.exceptions import TrainingError
 
 __all__ = ["IterationRecord", "TrainingHistory"]
@@ -63,12 +64,12 @@ class TrainingHistory:
     @property
     def train_losses(self) -> np.ndarray:
         """Training loss per iteration."""
-        return np.array([r.train_loss for r in self.records], dtype=np.float64)
+        return np.array([r.train_loss for r in self.records], dtype=DEFAULT_DTYPE)
 
     @property
     def distortion_fractions(self) -> np.ndarray:
         """Realized distortion fraction per iteration."""
-        return np.array([r.distortion_fraction for r in self.records], dtype=np.float64)
+        return np.array([r.distortion_fraction for r in self.records], dtype=DEFAULT_DTYPE)
 
     def accuracy_series(self) -> tuple[np.ndarray, np.ndarray]:
         """``(iterations, accuracies)`` restricted to evaluated iterations.
@@ -82,9 +83,9 @@ class TrainingHistory:
             if not np.isnan(r.test_accuracy)
         ]
         if not points:
-            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=DEFAULT_DTYPE)
         iterations, accuracies = zip(*points)
-        return np.array(iterations, dtype=np.int64), np.array(accuracies, dtype=np.float64)
+        return np.array(iterations, dtype=np.int64), np.array(accuracies, dtype=DEFAULT_DTYPE)
 
     @property
     def final_accuracy(self) -> float:

@@ -28,7 +28,7 @@ from repro.data.batching import (
     partition_batch_into_files,
 )
 from repro.data.datasets import Dataset
-from repro.exceptions import ConfigurationError, TrainingError
+from repro.exceptions import ConfigurationError
 from repro.nn.metrics import evaluate_model
 from repro.nn.optim import SGD, StepDecaySchedule
 from repro.training.config import TrainingConfig

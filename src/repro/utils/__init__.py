@@ -1,5 +1,11 @@
 """Shared utilities: seeding, validation and array helpers."""
 
+from repro.utils.arrays import (
+    stack_vectors,
+    flatten_arrays,
+    unflatten_vector,
+    pairwise_squared_distances,
+)
 from repro.utils.rng import as_generator, spawn_generators, derive_seed
 from repro.utils.validation import (
     check_positive_int,
@@ -8,12 +14,6 @@ from repro.utils.validation import (
     check_in_range,
     check_prime,
     is_prime,
-)
-from repro.utils.arrays import (
-    stack_vectors,
-    flatten_arrays,
-    unflatten_vector,
-    pairwise_squared_distances,
 )
 
 __all__ = [

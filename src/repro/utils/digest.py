@@ -17,7 +17,7 @@ __all__ = ["array_digest"]
 
 def array_digest(array: np.ndarray) -> str:
     """16-hex-char digest of an array's shape and exact float64 contents."""
-    payload = np.ascontiguousarray(array, dtype=np.float64)
+    payload = np.ascontiguousarray(array, dtype=np.float64)  # repro-lint: disable=DTYPE-001 (digests are defined over float64 bit patterns for every working dtype)
     hasher = hashlib.sha256()
     hasher.update(repr(payload.shape).encode())
     hasher.update(payload.tobytes())

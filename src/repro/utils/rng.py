@@ -10,7 +10,6 @@ set and the batch order must be identical across compared schemes.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -6,7 +6,7 @@ import pytest
 from repro.assignment.baseline import BaselineAssignment
 from repro.assignment.frc import FRCAssignment
 from repro.assignment.random_scheme import RandomAssignment
-from repro.exceptions import AssignmentError, ConfigurationError
+from repro.exceptions import ConfigurationError
 
 
 # --------------------------------------------------------------------------- #

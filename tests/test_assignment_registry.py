@@ -6,7 +6,6 @@ from repro.aggregation import available_aggregators, create_aggregator, get_aggr
 from repro.aggregation import register_aggregator
 from repro.aggregation.median import CoordinateWiseMedian
 from repro.assignment import available_schemes, get_scheme, register_scheme
-from repro.assignment.base import AssignmentScheme
 from repro.assignment.mols import MOLSAssignment
 from repro.assignment.registry import create_scheme
 from repro.attacks import available_attacks, create_attack, get_attack, register_attack

@@ -1,9 +1,7 @@
 """Tests for repro.core.distortion — worst-case distortion versus paper tables."""
 
-import numpy as np
 import pytest
 
-from repro.assignment.mols import MOLSAssignment
 from repro.core.distortion import (
     claim2_exact_c_max,
     count_distorted,

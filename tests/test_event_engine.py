@@ -7,6 +7,7 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.aggregation.median import CoordinateWiseMedian
 from repro.assignment.frc import FRCAssignment
 from repro.attacks.constant import ConstantAttack
 from repro.attacks.selection import FixedSelector
@@ -26,7 +27,6 @@ from repro.cluster.faults import (
 from repro.cluster.simulator import TrainingCluster
 from repro.cluster.timing import CostModel
 from repro.cluster.worker import WorkerPool
-from repro.aggregation.median import CoordinateWiseMedian
 from repro.core.pipelines import ByzShieldPipeline, VanillaPipeline
 from repro.core.vote_tensor import VoteTensor
 from repro.exceptions import AggregationError, ConfigurationError, TrainingError

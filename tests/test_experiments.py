@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.experiments.accuracy import (
     SCALE_PRESETS,
     available_figures,
@@ -14,7 +15,6 @@ from repro.experiments.paper_reference import TABLE3, TABLE4, TABLE5, TABLE6
 from repro.experiments.report import format_rows, format_series, rows_to_csv
 from repro.experiments.tables import generate_table3, generate_table6
 from repro.experiments.timing import generate_figure12
-from repro.exceptions import ConfigurationError
 
 
 # --------------------------------------------------------------------------- #

@@ -5,8 +5,6 @@ import pytest
 
 from repro.aggregation.mean import MeanAggregator
 from repro.aggregation.median import CoordinateWiseMedian
-from repro.assignment.baseline import BaselineAssignment
-from repro.assignment.frc import FRCAssignment
 from repro.assignment.mols import MOLSAssignment
 from repro.core.pipelines import (
     ByzShieldPipeline,
@@ -133,7 +131,6 @@ def test_detox_requires_frc_like_assignment(mols_assignment):
 
 
 def test_detox_requires_odd_groups():
-    even = FRCAssignment(num_workers=16, replication=4) if False else None
     # FRCAssignment itself rejects even r, so build a raw graph instead.
     import numpy as np
     from repro.graphs.bipartite import BipartiteAssignment

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.assignment.mols import MOLSAssignment
-from repro.assignment.ramanujan import RamanujanAssignment
 from repro.exceptions import AssignmentError
 from repro.graphs.bipartite import BipartiteAssignment
 from repro.graphs.spectral import (
